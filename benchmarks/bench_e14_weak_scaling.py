@@ -1,0 +1,80 @@
+"""E14 (extension of Figs. 11-12): weak scaling and distribution phase.
+
+The paper evaluates strong scaling only ("the evaluation of our approach
+on larger clusters is still a work in progress"); the natural companion
+experiments on the simulated cluster:
+
+* **weak scaling** — work grows with the rank count (fixed work per
+  rank); efficiency should stay near-flat where strong scaling decays;
+* **distribution phase** — the paper distributes subdomains through the
+  recursive decompose/decouple tree ("sent to other processes until all
+  processes have sufficient work"); we compare that log-depth tree
+  handoff against a naive root-sequential scatter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.simulator import (
+    NetworkModel,
+    SimConfig,
+    SimTask,
+    _tree_distribute,
+    simulate,
+)
+
+from conftest import print_table
+
+
+def tasks_for(n, seed=0, mean_cost=0.02):
+    rng = np.random.default_rng(seed)
+    return [SimTask(float(c), 5e4)
+            for c in rng.lognormal(np.log(mean_cost), 0.6, n)]
+
+
+def test_e14_weak_scaling(benchmark):
+    per_rank_tasks = 64
+
+    def run():
+        out = {}
+        for p in (1, 4, 16, 64, 256):
+            tasks = tasks_for(per_rank_tasks * p, seed=p)
+            total = sum(t.cost for t in tasks)
+            cfg = SimConfig(network=NetworkModel(2e-6, 7e9),
+                            per_task_overhead=1e-4)
+            res = simulate(tasks, p, cfg)
+            # Weak-scaling efficiency: T(1 rank's share) / T(p ranks).
+            out[p] = (total / p) / res.makespan
+        return out
+
+    eff = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[p, f"{e:.0%}"] for p, e in eff.items()]
+    print_table("E14 — weak scaling (fixed work per rank)",
+                ["ranks", "efficiency"], rows)
+    # Weak efficiency stays high out to 256 ranks.
+    assert eff[256] > 0.75
+    assert eff[64] > 0.8
+
+
+def test_e14_tree_vs_flat_distribution(benchmark):
+    """The recursive tree handoff reaches all ranks in log depth; a flat
+    root scatter serialises at the root's NIC."""
+    tasks = tasks_for(4096, seed=3)
+    net = NetworkModel(latency=5e-6, bandwidth=1e9)
+
+    def tree_time():
+        _, ready = _tree_distribute(tasks, 256, net)
+        return float(ready.max())
+
+    t_tree = benchmark.pedantic(tree_time, rounds=1, iterations=1)
+    # Flat scatter: the root sends each rank its share sequentially.
+    per = 4096 // 256
+    nbytes = per * 5e4
+    t_flat = sum(net.xfer(nbytes) for _ in range(255))
+    print_table(
+        "E14 — initial distribution (recursive tree vs flat root scatter)",
+        ["strategy", "time"],
+        [["recursive tree (paper)", f"{t_tree * 1e3:.2f}ms"],
+         ["flat root scatter", f"{t_flat * 1e3:.2f}ms"]],
+    )
+    assert t_tree < t_flat

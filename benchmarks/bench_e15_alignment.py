@@ -1,0 +1,65 @@
+"""E15 (extension of Section II.D): alignment & orthogonality preservation.
+
+The paper protects "the alignment and orthogonality of the anisotropic
+elements" (citing Loseille et al. for why they matter).  This benchmark
+measures those properties on the push-button pipeline's final merged mesh:
+stretched elements must align with the wall, and the full parallel
+pipeline (decomposition + decoupling + merge) must not degrade them
+relative to the sequentially produced boundary layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import alignment_to_surface, element_directions
+
+from conftest import print_table
+
+
+def test_e15_pipeline_alignment(benchmark, naca_mesh_result):
+    pslg, config, result = naca_mesh_result
+    surface = pslg.loop_points(pslg.loops[0])
+
+    def run():
+        full = alignment_to_surface(result.mesh, surface, min_ratio=5.0)
+        bl_only = alignment_to_surface(result.bl.mesh, surface, min_ratio=5.0)
+        return full, bl_only
+
+    full, bl_only = benchmark.pedantic(run, rounds=1, iterations=1)
+    _, ratio = element_directions(result.mesh)
+    finite = ratio[np.isfinite(ratio)]
+    print_table(
+        "E15 — anisotropic alignment on the final merged mesh",
+        ["quantity", "value"],
+        [
+            ["stretched elements (ratio >= 5)", len(full)],
+            ["median alignment |cos| (merged mesh)",
+             f"{np.median(full):.3f}"],
+            ["median alignment |cos| (BL alone)",
+             f"{np.median(bl_only):.3f}"],
+            ["fraction above 0.9", f"{(full > 0.9).mean():.0%}"],
+            ["max stretch ratio", f"{finite.max():.0f}"],
+        ],
+    )
+    assert len(full) > 100
+    # The wall-aligned structure survives the whole parallel pipeline.
+    assert np.median(full) > 0.95
+    assert (full > 0.9).mean() > 0.8
+    # Merging decomposed/decoupled pieces did not degrade the BL alignment.
+    assert np.median(full) >= np.median(bl_only) - 0.02
+
+
+def test_e15_orthogonality_histogram(benchmark, naca_mesh_result):
+    from repro.analysis.metrics import histogram
+
+    pslg, config, result = naca_mesh_result
+    surface = pslg.loop_points(pslg.loops[0])
+    scores = benchmark.pedantic(
+        lambda: alignment_to_surface(result.mesh, surface, min_ratio=3.0),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(histogram(scores, bins=10,
+                    label="E15 — |cos(long axis, wall tangent)|"))
+    # Strongly bimodal toward 1.0: the boundary-layer stacking property.
+    assert (scores > 0.95).mean() > 0.6

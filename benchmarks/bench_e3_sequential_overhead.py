@@ -1,0 +1,80 @@
+"""E3 / Section IV text: single-rank efficiency vs the plain sequential mesher.
+
+Paper: Triangle sequentially meshes the domain in 192 s; the decoupled
+pipeline on one process takes 196 s (98% sequential efficiency), the gap
+being "the additional triangles created by the inviscid decoupling
+method".  Here we mesh the same region once as a single monolithic
+refinement and once through quadrant decoupling, comparing wall time and
+triangle counts.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.decouple import decouple, initial_quadrants, refine_subdomain
+from repro.delaunay.mesh import merge_meshes
+from repro.delaunay.refine import refine_pslg
+from repro.geometry.aabb import AABB
+from repro.sizing.functions import RadialSizing
+
+from conftest import print_table
+
+
+def test_e3_sequential_overhead(benchmark):
+    sizing = RadialSizing((0, 0), h0=0.006, grading=0.05, h_max=1.0)
+    inner = AABB(-1, -1, 1, 1)
+    outer = AABB(-12, -12, 12, 12)
+
+    def run():
+        # Monolithic sequential refinement of the whole annulus ("Triangle").
+        ring = []
+        for box, rev in ((outer, False), (inner, True)):
+            c = [(box.xmin, box.ymin), (box.xmax, box.ymin),
+                 (box.xmax, box.ymax), (box.xmin, box.ymax)]
+            ring.append(list(reversed(c)) if rev else c)
+        pts = np.asarray(ring[0] + ring[1], dtype=float)
+        segs = np.array([(i, (i + 1) % 4) for i in range(4)]
+                        + [(4 + i, 4 + (i + 1) % 4) for i in range(4)])
+        t0 = time.perf_counter()
+        mono = refine_pslg(pts, segs, holes=[(0.0, 0.0)],
+                           area_fn=sizing.area_at)
+        t_mono = time.perf_counter() - t0
+
+        # Decoupled pipeline on one rank.
+        t0 = time.perf_counter()
+        quads = initial_quadrants(inner, outer, sizing)
+        subs = decouple(quads, sizing, target_count=16)
+        meshes = [refine_subdomain(s, sizing) for s in subs]
+        merged = merge_meshes(meshes)
+        t_dec = time.perf_counter() - t0
+        return mono, merged, t_mono, t_dec
+
+    mono, merged, t_mono, t_dec = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+    extra_tris = merged.n_triangles - mono.n_triangles
+    eff = t_mono / t_dec
+    print_table(
+        "E3 — sequential efficiency (paper: 192 s vs 196 s = 98%, "
+        "overhead = extra decoupling triangles)",
+        ["variant", "triangles", "time"],
+        [
+            ["monolithic", mono.n_triangles, f"{t_mono:.2f}s"],
+            ["decoupled x16", merged.n_triangles, f"{t_dec:.2f}s"],
+            ["ratio", f"{merged.n_triangles / mono.n_triangles:.3f}",
+             f"eff {eff:.0%}"],
+        ],
+    )
+    # Same region covered.
+    assert np.abs(merged.areas()).sum() == pytest.approx(
+        np.abs(mono.areas()).sum(), rel=1e-9)
+    # The decoupled mesh has a few percent more triangles (graded internal
+    # borders) — the paper's stated source of its 2% overhead.
+    assert 0 <= extra_tris < 0.10 * mono.n_triangles
+    # Sequential efficiency: the paper reports 98% at 1.7e8-triangle
+    # scale; at this 2e4-triangle laptop scale the per-subdomain fixed
+    # costs are not yet amortised, so the band is wider (see
+    # EXPERIMENTS.md).
+    assert eff > 0.40
+    assert merged.is_conforming()

@@ -1,0 +1,80 @@
+"""E5 / Figs. 9-10: graded decoupled inviscid subdomains.
+
+Paper Fig. 9 shows the four initial quadrants, Fig. 10 the recursively
+'+'-split subdomains, "decoupled based on the estimated number of
+triangles ... each subdomain has roughly the same number of triangles".
+We regenerate the decoupling for a graded sizing field and report the
+estimated vs. actual per-subdomain triangle counts and the conformity of
+the independently refined union.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decouple import (
+    decouple,
+    estimate_triangles,
+    initial_quadrants,
+    refine_subdomain,
+)
+from repro.delaunay.mesh import merge_meshes
+from repro.geometry.aabb import AABB
+from repro.sizing.functions import RadialSizing
+
+from conftest import print_table
+
+
+def test_fig9_initial_quadrants(benchmark):
+    sizing = RadialSizing((0, 0), h0=0.2, grading=0.3, h_max=4.0)
+    quads = benchmark.pedantic(
+        lambda: initial_quadrants(AABB(-1, -1, 1, 1), AABB(-20, -20, 20, 20),
+                                  sizing),
+        rounds=1, iterations=1,
+    )
+    areas = [q.area() for q in quads]
+    print_table(
+        "Fig. 9 — initial quadrants",
+        ["quadrant", "border vertices", "area"],
+        [[i, len(q.ring), f"{a:.1f}"] for i, (q, a) in
+         enumerate(zip(quads, areas))],
+    )
+    assert len(quads) == 4
+    assert sum(areas) == pytest.approx(1600 - 4)
+
+
+def test_fig10_balanced_decoupling(benchmark):
+    sizing = RadialSizing((0, 0), h0=0.18, grading=0.3, h_max=4.0)
+
+    def run():
+        quads = initial_quadrants(AABB(-1, -1, 1, 1),
+                                  AABB(-20, -20, 20, 20), sizing)
+        subs = decouple(quads, sizing, target_count=24)
+        meshes = [refine_subdomain(s, sizing) for s in subs]
+        return subs, meshes
+
+    subs, meshes = benchmark.pedantic(run, rounds=1, iterations=1)
+    ests = [estimate_triangles(s, sizing) for s in subs]
+    actuals = [m.n_triangles for m in meshes]
+    rows = [[i, f"{e:.0f}", a, f"{s.area():.1f}"]
+            for i, (e, a, s) in enumerate(zip(ests, actuals, subs))]
+    print_table(
+        "Fig. 10 — decoupled subdomains (paper: roughly equal triangle "
+        "counts; near-body subdomains smaller in area)",
+        ["sub", "estimated", "actual", "area"], rows,
+    )
+    merged = merge_meshes(meshes)
+    assert merged.is_conforming()
+    assert np.abs(merged.areas()).sum() == pytest.approx(1600 - 4, rel=1e-9)
+    # Balance: actual triangle counts within one order of magnitude.
+    assert max(actuals) / max(min(actuals), 1) < 12
+    # Estimates correlate with actuals (rank correlation).
+    from scipy.stats import spearmanr
+
+    rho, _ = spearmanr(ests, actuals)
+    print(f"  estimate/actual Spearman rho = {rho:.2f}")
+    assert rho > 0.6
+    # The paper's visual: subdomains near the centre (fine sizing) have
+    # smaller areas for the same triangle count.
+    centre_area = min(abs(s.area()) for s in subs)
+    edge_area = max(abs(s.area()) for s in subs)
+    assert edge_area > 3 * centre_area

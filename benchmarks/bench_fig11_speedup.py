@@ -1,0 +1,58 @@
+"""E1 / Fig. 11: strong-scaling speedup, 1 -> 256 ranks, fixed mesh.
+
+Paper: speedup ~102 at 128 ranks, ~180 at 256, measured against the
+fastest sequential tool (Triangle).  Here the per-subdomain costs come
+from the live kernel and are replayed on the discrete-event cluster
+simulator with a 4X-FDR-Infiniband network model.
+"""
+
+import pytest
+
+from repro.runtime.simulator import NetworkModel, SimConfig, simulate, strong_scaling
+
+from conftest import print_table
+
+RANKS = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+
+def make_config(total_work: float) -> SimConfig:
+    return SimConfig(
+        network=NetworkModel(latency=2e-6, bandwidth=7e9),
+        serial_setup=0.002 * total_work,
+        per_task_overhead=1e-4,
+    )
+
+
+def test_fig11_speedup_series(benchmark, measured_tasks):
+    total = sum(t.cost for t in measured_tasks)
+
+    def run():
+        # Sequential baseline: Triangle does ~2% less work than the
+        # decoupled pipeline (paper Section IV: 192 s vs 196 s).
+        return strong_scaling(measured_tasks, RANKS, make_config(total),
+                              t_sequential=total / 1.02)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[p, f"{table[p]['speedup']:.1f}",
+             f"{table[p]['makespan']:.3f}s",
+             int(table[p]['steals'])] for p in RANKS]
+    print_table(
+        "Fig. 11 — strong-scaling speedup (paper: ~102 @128, ~180 @256)",
+        ["ranks", "speedup", "makespan", "steals"], rows,
+    )
+    s = {p: table[p]["speedup"] for p in RANKS}
+    # Shape assertions: monotone growth, paper-magnitude speedups.
+    assert all(s[RANKS[i + 1]] > s[RANKS[i]] for i in range(len(RANKS) - 1))
+    assert 70 <= s[128] <= 128
+    assert 120 <= s[256] <= 230
+    assert s[1] == pytest.approx(1 / 1.02, rel=0.02)
+
+
+def test_fig11_single_simulation_cost(benchmark, measured_tasks):
+    """The 256-rank simulation itself is cheap enough to sweep."""
+    total = sum(t.cost for t in measured_tasks)
+    res = benchmark.pedantic(
+        simulate, args=(measured_tasks, 256, make_config(total)),
+        rounds=3, iterations=1,
+    )
+    assert res.makespan > 0

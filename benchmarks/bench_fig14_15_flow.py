@@ -1,0 +1,105 @@
+"""E9 / Figs. 14-15: pressure and Mach flow fields on the generated mesh.
+
+Paper: FUN3D on the 30p30n mesh at M = 0.3, Re = 1e6, alpha = 5 deg shows
+high pressure underneath / low on top (lift, Fig. 14), stagnation points
+on the undersides, and accelerated flow (high Mach) over the upper
+surfaces (Fig. 15).  Our potential-flow stand-in reproduces exactly those
+qualitative features on the push-button mesh.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solver.flow import solve_potential_flow
+
+from conftest import print_table
+
+
+def test_fig14_pressure_field(benchmark, naca_mesh_result):
+    pslg, config, result = naca_mesh_result
+    body = pslg.loop_points(pslg.loops[0])
+
+    res = benchmark.pedantic(
+        lambda: solve_potential_flow(result.mesh, [body], u_inf=1.0,
+                                     alpha_deg=5.0, mach_inf=0.3),
+        rounds=1, iterations=1,
+    )
+    cents = result.mesh.centroids()
+    near = np.abs(cents[:, 0] - 0.4) < 0.35
+    above = near & (cents[:, 1] > 0.04) & (cents[:, 1] < 0.3)
+    below = near & (cents[:, 1] < -0.04) & (cents[:, 1] > -0.3)
+    cl = res.lift_coefficient()
+    print_table(
+        "Fig. 14 — pressure (paper: high below / low above -> high lift)",
+        ["quantity", "value"],
+        [
+            ["Cl", f"{cl:+.3f}"],
+            ["mean Cp below", f"{res.cp[below].mean():+.3f}"],
+            ["mean Cp above", f"{res.cp[above].mean():+.3f}"],
+        ],
+    )
+    assert cl > 0.2                     # positive lift at +5 deg
+    assert res.cp[below].mean() > res.cp[above].mean()
+
+
+def test_fig15_mach_field_and_stagnation(benchmark, naca_mesh_result):
+    pslg, config, result = naca_mesh_result
+    body = pslg.loop_points(pslg.loops[0])
+    res = benchmark.pedantic(
+        lambda: solve_potential_flow(result.mesh, [body], u_inf=1.0,
+                                     alpha_deg=5.0, mach_inf=0.3),
+        rounds=1, iterations=1,
+    )
+    cents = result.mesh.centroids()
+    stag = res.stagnation_elements(frac=0.25)
+    stag_pts = cents[stag]
+    # Distance of the nearest stagnation element to the leading edge.
+    d_le = float(np.min(np.hypot(stag_pts[:, 0], stag_pts[:, 1])))
+    # Stagnation on the underside (positive alpha): lowest-speed element
+    # near the nose sits below the chord line.
+    nose = stag_pts[np.argmin(np.hypot(stag_pts[:, 0], stag_pts[:, 1]))]
+    upper = (cents[:, 1] > 0.02) & (cents[:, 0] > 0.05) & (cents[:, 0] < 0.6)
+    print_table(
+        "Fig. 15 — Mach (paper: stagnation on the underside, acceleration "
+        "above; M_inf = 0.3)",
+        ["quantity", "value"],
+        [
+            ["peak local Mach", f"{res.mach.max():.3f}"],
+            ["mean upper-surface Mach", f"{res.mach[upper].mean():.3f}"],
+            ["stagnation elements", len(stag)],
+            ["nearest stagnation to LE", f"{d_le:.3f}"],
+            ["stagnation y (underside < 0)", f"{nose[1]:+.4f}"],
+        ],
+    )
+    assert res.mach.max() > 0.3          # acceleration past freestream
+    assert len(stag) > 0
+    assert d_le < 0.2                    # stagnation point at the nose
+    assert nose[1] < 0.02                # on/below the chord line at +alpha
+
+
+def test_fig14_multi_element_gap_acceleration(benchmark,
+                                              highlift_mesh_result):
+    """Paper Fig. 15: the fluid accelerates through the slat/main gap."""
+    pslg, config, result = highlift_mesh_result
+    bodies = [pslg.loop_points(lp) for lp in pslg.body_loops]
+    res = benchmark.pedantic(
+        lambda: solve_potential_flow(result.mesh, bodies, u_inf=1.0,
+                                     alpha_deg=5.0, mach_inf=0.3),
+        rounds=1, iterations=1,
+    )
+    speed = np.linalg.norm(res.velocity, axis=1)
+    cents = result.mesh.centroids()
+    # The slat/main gap region of the synthetic configuration.
+    gap = ((cents[:, 0] > -0.08) & (cents[:, 0] < 0.12)
+           & (cents[:, 1] > -0.12) & (cents[:, 1] < 0.05))
+    far = np.hypot(cents[:, 0] - 0.5, cents[:, 1]) > 5.0
+    print_table(
+        "Fig. 15 — gap acceleration (multi-element)",
+        ["quantity", "value"],
+        [
+            ["max gap speed / U_inf", f"{speed[gap].max():.2f}"],
+            ["median far-field speed / U_inf",
+             f"{np.median(speed[far]):.2f}"],
+        ],
+    )
+    assert speed[gap].max() > 1.05 * np.median(speed[far])

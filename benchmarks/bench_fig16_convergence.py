@@ -1,0 +1,139 @@
+"""E10 / Fig. 16: anisotropic vs isotropic mesh convergence.
+
+Paper: the anisotropic mesh (360,241 triangles) converges the
+conservation-of-mass residual to 1e-12 in ~5,000 iterations; the
+isotropic mesh of the same geometry and sizing (5,314,372 triangles —
+14.8x more elements, all angles > 20.7 deg) needs ~10,000.  We reproduce
+the comparison at laptop scale: same surface distribution, same
+gradation, wall-normal resolution met anisotropically (BL) vs
+isotropically (quality refinement to the wall spacing), identical solver
+(Jacobi-PCG on the streamfunction/mass-conservation Laplacian) to 1e-12.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bl_pipeline import BoundaryLayerConfig
+from repro.core.pipeline import MeshConfig, generate_mesh
+from repro.delaunay.refine import RUPPERT_BOUND, refine_pslg
+from repro.geometry.airfoils import naca0012
+from repro.geometry.pslg import PSLG
+from repro.sizing.functions import GradedDistanceSizing
+from repro.solver.convergence import jacobi, pcg
+from repro.solver.fem import apply_dirichlet, assemble_stiffness, boundary_nodes
+
+from conftest import print_table
+
+FIRST_SPACING = 1e-4
+FARFIELD = 6.0
+
+
+@pytest.fixture(scope="module")
+def meshes():
+    pslg = PSLG.from_loops([naca0012(81)])
+    config = MeshConfig(
+        bl=BoundaryLayerConfig(first_spacing=FIRST_SPACING,
+                               growth_ratio=1.3, max_layers=40),
+        farfield_chords=FARFIELD,
+        target_subdomains=8,
+    )
+    aniso = generate_mesh(pslg, config).mesh
+
+    af = naca0012(81)
+    half = FARFIELD
+    box = np.array([(0.5 - half, -half), (0.5 + half, -half),
+                    (0.5 + half, half), (0.5 - half, half)])
+    pts = np.vstack([af, box])
+    n = len(af)
+    segs = np.array([(i, (i + 1) % n) for i in range(n)]
+                    + [(n + i, n + (i + 1) % 4) for i in range(4)])
+    sizing = GradedDistanceSizing(af, h0=FIRST_SPACING, grading=0.35,
+                                  h_max=3.0)
+    iso = refine_pslg(pts, segs, holes=[(0.5, 0.0)],
+                      area_fn=sizing.area_at,
+                      min_edge_floor=FIRST_SPACING / 8)
+    return aniso, iso
+
+
+def _mass_conservation_solve(mesh, solver):
+    K = assemble_stiffness(mesh)
+    bn = boundary_nodes(mesh)
+    g = mesh.points[:, 1]  # freestream streamfunction
+    A, b = apply_dirichlet(K, np.zeros(mesh.n_points), bn, g[bn])
+    return solver(A, b), A.nnz
+
+
+def test_fig16_element_counts(benchmark, meshes):
+    aniso, iso = benchmark.pedantic(lambda: meshes, rounds=1, iterations=1)
+    ratio = iso.n_triangles / aniso.n_triangles
+    iso_min_angle = float(np.degrees(iso.min_angle()))
+    print_table(
+        "Fig. 16 — element counts (paper: 360,241 vs 5,314,372 = 14.8x)",
+        ["mesh", "triangles", "min angle"],
+        [
+            ["anisotropic", aniso.n_triangles,
+             f"{np.degrees(aniso.min_angle()):.2f} deg"],
+            ["isotropic", iso.n_triangles, f"{iso_min_angle:.2f} deg"],
+            ["ratio", f"{ratio:.1f}x", ""],
+        ],
+    )
+    # The isotropic mesh pays a large multiple for the wall resolution.
+    assert ratio > 3.0
+    # The isotropic mesh is a quality mesh away from the guarded cusp
+    # (paper: all angles above 20.7 degrees).
+    ratios = iso.radius_edge_ratios()
+    assert (ratios <= RUPPERT_BOUND + 1e-9).mean() > 0.98
+
+
+def test_fig16_convergence_iterations(benchmark, meshes):
+    aniso, iso = meshes
+
+    def run():
+        (ra, nnz_a) = _mass_conservation_solve(
+            aniso, lambda A, b: pcg(A, b, tol=1e-12, max_iter=400_000))
+        (ri, nnz_i) = _mass_conservation_solve(
+            iso, lambda A, b: pcg(A, b, tol=1e-12, max_iter=400_000))
+        return ra, nnz_a, ri, nnz_i
+
+    ra, nnz_a, ri, nnz_i = benchmark.pedantic(run, rounds=1, iterations=1)
+    work_a = ra.iterations * nnz_a
+    work_i = ri.iterations * nnz_i
+    print_table(
+        "Fig. 16 — residual convergence to 1e-12 "
+        "(paper: ~5,000 vs ~10,000 iterations)",
+        ["mesh", "triangles", "iterations", "work (it*nnz)"],
+        [
+            ["anisotropic", aniso.n_triangles, ra.iterations,
+             f"{work_a:.2e}"],
+            ["isotropic", iso.n_triangles, ri.iterations, f"{work_i:.2e}"],
+            ["ratio", f"{iso.n_triangles / aniso.n_triangles:.1f}x",
+             f"{ri.iterations / max(ra.iterations, 1):.2f}x",
+             f"{work_i / max(work_a, 1):.1f}x"],
+        ],
+    )
+    assert ra.converged and ri.converged
+    # Residual histories decay to the tolerance (the Fig. 16 curves).
+    assert ra.residuals[-1] <= 1e-12
+    assert ri.residuals[-1] <= 1e-12
+    # The anisotropic mesh reaches the same tolerance with less total
+    # work — the CPU-savings claim behind Fig. 16.
+    assert work_a < work_i
+
+
+def test_fig16_residual_history_shape(benchmark, meshes):
+    """The Fig. 16 curves: monotone-envelope decay over ~4 decades before
+    the tolerance, for both meshes."""
+    aniso, _ = meshes
+    (res, _nnz) = benchmark.pedantic(
+        lambda: _mass_conservation_solve(
+            aniso, lambda A, b: pcg(A, b, tol=1e-12, max_iter=400_000)),
+        rounds=1, iterations=1,
+    )
+    hist = np.asarray(res.residuals)
+    # Sample the curve as the paper's figure does.
+    idx = np.unique(np.linspace(0, len(hist) - 1, 8).astype(int))
+    rows = [[int(i), f"{hist[i]:.2e}"] for i in idx]
+    print_table("Fig. 16 — residual history (anisotropic mesh)",
+                ["iteration", "relative residual"], rows)
+    # Envelope decreases by orders of magnitude.
+    assert hist[0] / hist[-1] > 1e8

@@ -1,0 +1,78 @@
+"""E4 / Fig. 8: the boundary layer decomposed into 128 Delaunay subdomains.
+
+Paper Fig. 8 shows the 30p30n boundary layer split into 128 independently
+triangulable subdomains by the projection-based decomposition.  We verify
+the decomposition of the real multi-element BL point cloud: leaf count,
+balance, and the headline guarantee that the independently triangulated
+leaves merge into the exact Delaunay triangulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decompose import decompose, triangulate_leaves
+from repro.delaunay.kernel import delaunay_mesh
+from repro.delaunay.mesh import merge_meshes
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def bl_cloud(highlift_mesh_result):
+    _, _, result = highlift_mesh_result
+    return np.unique(result.bl.points, axis=0)
+
+
+def test_fig8_decompose_to_128(benchmark, bl_cloud):
+    res = benchmark.pedantic(
+        lambda: decompose(bl_cloud, leaf_size=max(8, len(bl_cloud) // 128),
+                          max_level=10),
+        rounds=1, iterations=1,
+    )
+    sizes = res.sizes()
+    print_table(
+        "Fig. 8 — BL point cloud decomposition (paper: 128 subdomains)",
+        ["metric", "value"],
+        [
+            ["BL points", len(bl_cloud)],
+            ["leaves", len(res.leaves)],
+            ["splits", res.n_splits],
+            ["min/median/max leaf", f"{min(sizes)}/{int(np.median(sizes))}/"
+                                    f"{max(sizes)}"],
+            ["balance (max/mean)", f"{res.balance():.2f}"],
+            ["path edges", len(res.path_edges_global)],
+        ],
+    )
+    assert 64 <= len(res.leaves) <= 256
+    assert res.balance() < 3.0
+
+
+def test_fig8_leaves_reassemble_global_delaunay(benchmark, bl_cloud):
+    """Independent leaf triangulation == global DT on the anisotropic
+    boundary-layer cloud (the hard case: aspect ratios in the hundreds)."""
+    sub = bl_cloud[:4000] if len(bl_cloud) > 4000 else bl_cloud
+
+    def run():
+        res = decompose(sub, leaf_size=max(16, len(sub) // 64))
+        return res, merge_meshes(triangulate_leaves(res))
+
+    res, merged = benchmark.pedantic(run, rounds=1, iterations=1)
+    glob = delaunay_mesh(sub)
+    keyify = lambda mesh: {
+        tuple(sorted(np.round(mesh.points[list(t)], 12).ravel()))
+        for t in mesh.triangles.tolist()
+    }
+    a, b = keyify(merged), keyify(glob)
+    print_table(
+        "Fig. 8 — exactness of the parallel BL triangulation",
+        ["metric", "value"],
+        [
+            ["points", len(sub)],
+            ["leaves", len(res.leaves)],
+            ["merged triangles", merged.n_triangles],
+            ["global triangles", glob.n_triangles],
+            ["missing / extra", f"{len(b - a)} / {len(a - b)}"],
+        ],
+    )
+    assert a == b
+    assert merged.is_conforming()

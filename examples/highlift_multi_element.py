@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Multi-element high-lift meshing: the paper's 30p30n scenario (Fig. 13).
+
+Meshes a synthetic three-element configuration (slat + main + flap) and
+reports the special-case machinery the complex geometry exercises:
+
+* cusp and large-angle fans at the trailing edges,
+* ray self-intersections resolved inside the coves,
+* multi-element intersections resolved in the slat/main and main/flap gaps,
+* boundary-layer height variation (the smooth isotropic hand-off, Fig. 5).
+
+Run:  python examples/highlift_multi_element.py
+"""
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro import BoundaryLayerConfig, MeshConfig, generate_mesh
+from repro.core.normals import VertexKind, loop_surface_vertices
+from repro.geometry.airfoils import three_element_airfoil
+from repro.io.meshio import write_mesh_ascii
+
+
+def main() -> None:
+    pslg = three_element_airfoil(n_points=81)
+    print("elements:", ", ".join(lp.name for lp in pslg.loops))
+
+    # Classify the surface before meshing: where will fans appear?
+    for loop in pslg.body_loops:
+        sv = loop_surface_vertices(pslg, loop)
+        kinds = {}
+        for v in sv:
+            kinds[v.kind] = kinds.get(v.kind, 0) + 1
+        summary = ", ".join(f"{k.value}: {n}" for k, n in sorted(
+            kinds.items(), key=lambda kv: kv[0].value))
+        worst = max(sv, key=lambda v: abs(v.turn))
+        print(f"  {loop.name:<5} -> {summary}; sharpest turn "
+              f"{math.degrees(worst.turn):+.0f} deg at x={worst.position[0]:.3f}")
+
+    config = MeshConfig(
+        bl=BoundaryLayerConfig(
+            first_spacing=8e-4,
+            growth_ratio=1.25,
+            max_layers=40,
+            truncation_factor=0.5,
+        ),
+        farfield_chords=30.0,
+        target_subdomains=24,
+    )
+    result = generate_mesh(pslg, config)
+
+    s = result.stats
+    print(f"\nboundary layer: {int(s['bl_n_rays'])} rays, "
+          f"{int(s['bl_n_points'])} points")
+    print(f"  self-intersection truncations : {int(s['bl_n_self_truncations'])}")
+    print(f"  multi-element truncations     : {int(s['bl_n_multi_truncations'])}")
+    print(f"  border untangle shrinks       : {int(s['bl_n_border_shrinks'])}")
+
+    # BL height variation along the main element (Fig. 5 behaviour).
+    main_rays = result.bl.element_rays[1]
+    heights = [r.heights[-1] if r.heights else 0.0 for r in main_rays]
+    print(f"\nmain-element BL height: min {min(heights):.4f}, "
+          f"max {max(heights):.4f} (varies to hand off smoothly)")
+
+    mesh = result.mesh
+    print(f"\nfinal mesh: {mesh.n_triangles} triangles, "
+          f"conforming={mesh.is_conforming()}")
+    ar = mesh.aspect_ratios()
+    print(f"  max aspect ratio {ar.max():.0f}; "
+          f"{(ar > 10).sum()} strongly anisotropic elements")
+
+    out = Path(__file__).parent / "output" / "highlift"
+    out.parent.mkdir(exist_ok=True)
+    node, ele = write_mesh_ascii(out, mesh)
+    print(f"\nwrote {node}\nwrote {ele}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Mesh analysis: anisotropy metrics, gradation profiles, reports."""
+
+from .metrics import (
+    alignment_to_surface,
+    element_directions,
+    histogram,
+    orthogonality_of_normals,
+    size_profile,
+)
+from .report import mesh_report
+
+__all__ = [
+    "alignment_to_surface",
+    "element_directions",
+    "histogram",
+    "mesh_report",
+    "orthogonality_of_normals",
+    "size_profile",
+]

@@ -1,0 +1,23 @@
+"""Core algorithms: the paper's parallel anisotropic meshing contribution."""
+
+from .bl_pipeline import (
+    BoundaryLayerConfig,
+    BoundaryLayerResult,
+    generate_boundary_layer,
+    interior_seed,
+)
+from .normals import SurfaceVertex, VertexKind, loop_surface_vertices
+from .rays import Ray, build_rays, refine_rays
+
+__all__ = [
+    "BoundaryLayerConfig",
+    "BoundaryLayerResult",
+    "Ray",
+    "SurfaceVertex",
+    "VertexKind",
+    "build_rays",
+    "generate_boundary_layer",
+    "interior_seed",
+    "loop_surface_vertices",
+    "refine_rays",
+]

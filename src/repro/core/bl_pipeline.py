@@ -1,0 +1,336 @@
+"""Anisotropic boundary-layer generation pipeline (Sections II.A-II.D).
+
+Per body loop: surface normals -> refined rays (fans at cusps) ->
+intersection resolution (self, then multi-element) -> growth-function
+point insertion with isotropy termination -> tip-border simplification ->
+constrained Delaunay triangulation of the boundary-layer annulus.
+
+The output bundles everything downstream stages need: the per-element ray
+sets (the parallel decomposition partitions their points), the outer
+borders (the inviscid region's inner boundaries), and the BL mesh itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..delaunay.constrained import carve, triangulate_pslg
+from ..delaunay.mesh import TriMesh
+from ..geometry.aabb import segment_extent_box
+from ..geometry.predicates import orient2d
+from ..geometry.primitives import segments_intersect
+from ..geometry.pslg import PSLG
+from ..sizing.functions import SizingFunction
+from ..sizing.growth import GeometricGrowth, GrowthFunction
+from ..spatial.adt import ADT
+from .insertion import insert_points
+from .intersections import (
+    resolve_multi_element_intersections,
+    resolve_self_intersections,
+)
+from .normals import loop_surface_vertices
+from .rays import Ray, refine_rays
+
+__all__ = ["BoundaryLayerConfig", "BoundaryLayerResult", "generate_boundary_layer",
+           "interior_seed"]
+
+
+@dataclass
+class BoundaryLayerConfig:
+    """User-facing boundary-layer parameters (the push-button inputs)."""
+
+    first_spacing: float = 1e-3
+    growth_ratio: float = 1.3
+    max_layers: int = 60
+    max_height: float = math.inf
+    large_angle_deg: float = 40.0
+    cusp_angle_deg: float = 100.0
+    max_ray_angle_deg: float = 20.0
+    isotropy_factor: float = 1.0
+    truncation_factor: float = 0.5
+    growth: Optional[GrowthFunction] = None  # overrides first_spacing/ratio
+    #: "delaunay" (default: CDT of the BL cloud, the mode the parallel
+    #: decomposition operates on) or "structured" (direct quad-strip
+    #: stitching, see repro.core.structured_bl).
+    triangulation: str = "delaunay"
+
+    def growth_function(self) -> GrowthFunction:
+        if self.growth is not None:
+            return self.growth
+        return GeometricGrowth(self.first_spacing, self.growth_ratio)
+
+
+@dataclass
+class BoundaryLayerResult:
+    element_rays: List[List[Ray]]
+    points: np.ndarray
+    mesh: TriMesh
+    outer_borders: List[np.ndarray]          # per element, closed (m, 2)
+    surface_loops: List[np.ndarray]          # per element, closed (m, 2)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+def interior_seed(loop_pts: np.ndarray) -> Tuple[float, float]:
+    """A point strictly inside a simple CCW polygon.
+
+    Probes inward offsets of edge midpoints, verified by ray-casting
+    point-in-polygon; robust for concave (cove) outlines where the
+    centroid may fall outside.
+    """
+    n = len(loop_pts)
+    per = np.linalg.norm(np.diff(np.vstack([loop_pts, loop_pts[:1]]),
+                                 axis=0), axis=1)
+    for i in range(n):
+        a = loop_pts[i]
+        b = loop_pts[(i + 1) % n]
+        ex, ey = b[0] - a[0], b[1] - a[1]
+        elen = math.hypot(ex, ey)
+        if elen == 0:
+            continue
+        # Inward normal of a CCW loop is the LEFT perpendicular.
+        nx, ny = -ey / elen, ex / elen
+        mx, my = 0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1])
+        for scale in (0.3, 0.1, 0.03, 0.01):
+            px, py = mx + nx * scale * elen, my + ny * scale * elen
+            if _point_in_polygon(px, py, loop_pts):
+                return (px, py)
+    raise ValueError("could not find an interior seed (degenerate loop?)")
+
+
+def _point_in_polygon(x: float, y: float, poly: np.ndarray) -> bool:
+    """Even-odd ray casting (horizontal ray to +inf), vectorised."""
+    poly = np.asarray(poly, dtype=np.float64)
+    xi, yi = poly[:, 0], poly[:, 1]
+    xj, yj = np.roll(xi, 1), np.roll(yi, 1)
+    straddle = (yi > y) != (yj > y)
+    if not straddle.any():
+        return False
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x_cross = xi + (y - yi) / (yj - yi) * (xj - xi)
+    hits = straddle & (x < x_cross)
+    return bool(hits.sum() & 1)
+
+
+def _dedupe_ring(points: List[tuple]) -> List[tuple]:
+    """Drop consecutive duplicates (including the wrap-around pair)."""
+    out: List[tuple] = []
+    for p in points:
+        if not out or p != out[-1]:
+            out.append(p)
+    if len(out) > 1 and out[0] == out[-1]:
+        out.pop()
+    return out
+
+
+def _border_rings(element_rays: Sequence[Sequence[Ray]]
+                  ) -> List[List[Tuple[tuple, int]]]:
+    """Per element: deduped ring of (tip point, ray index)."""
+    rings = []
+    for rays in element_rays:
+        ring: List[Tuple[tuple, int]] = []
+        for idx, r in enumerate(rays):
+            tip = r.tip()
+            if not ring or tip != ring[-1][0]:
+                ring.append((tip, idx))
+        if len(ring) > 1 and ring[0][0] == ring[-1][0]:
+            ring.pop()
+        rings.append(ring)
+    return rings
+
+
+def _simplify_borders(element_rays: Sequence[List[Ray]], *,
+                      max_passes: int = 40) -> int:
+    """Shrink rays until no two outer-border segments properly cross.
+
+    Truncation can leave tip borders that still cross (their own element's
+    or another's).  Each pass finds crossings with an ADT over all border
+    segments and pops the last layer point of every ray bounding a
+    crossing segment.  Returns the number of layer points removed.
+    """
+    removed = 0
+    for _ in range(max_passes):
+        rings = _border_rings(element_rays)
+        segs: List[Tuple[tuple, tuple]] = []
+        owners: List[Tuple[int, int, int]] = []  # (element, ray_i, ray_j)
+        for el, ring in enumerate(rings):
+            m = len(ring)
+            if m < 2:
+                continue
+            for i in range(m):
+                (p0, r0), (p1, r1) = ring[i], ring[(i + 1) % m]
+                segs.append((p0, p1))
+                owners.append((el, r0, r1))
+        # Surface segments participate as immovable obstacles: a border
+        # segment must not cross any element's body either.
+        for el, rays in enumerate(element_rays):
+            ring_pts = _dedupe_ring([r.origin for r in rays])
+            m = len(ring_pts)
+            for i in range(m):
+                segs.append((ring_pts[i], ring_pts[(i + 1) % m]))
+                owners.append((el, -1, -1))
+        if not segs:
+            return removed
+        boxes = [segment_extent_box(a, b) for a, b in segs]
+        bounds = boxes[0]
+        for b in boxes[1:]:
+            bounds = bounds.union(b)
+        tree = ADT(bounds.expanded(1e-12 + 1e-9 * max(bounds.width,
+                                                      bounds.height)))
+        tree.build(boxes)
+        guilty: set = set()
+        for i, (a1, b1) in enumerate(segs):
+            for j in tree.query(boxes[i]):
+                if j <= i:
+                    continue
+                a2, b2 = segs[j]
+                if segments_intersect(a1, b1, a2, b2, proper_only=True):
+                    guilty.add(i)
+                    guilty.add(j)
+        if not guilty:
+            return removed
+        shrunk = set()
+        progress = False
+        for g in guilty:
+            el, r0, r1 = owners[g]
+            if r0 < 0:
+                continue  # surface segments are immovable
+            for ridx in (r0, r1):
+                key = (el, ridx)
+                if key in shrunk:
+                    continue
+                ray = element_rays[el][ridx]
+                if ray.heights:
+                    ray.heights.pop()
+                    ray.max_height = (ray.heights[-1] if ray.heights else 0.0)
+                    removed += 1
+                    progress = True
+                    shrunk.add(key)
+        if not progress:
+            break
+    # One final check: if crossings persist, the geometry is unusable.
+    rings = _border_rings(element_rays)
+    raise RuntimeError(
+        "could not untangle boundary-layer borders after shrinking; "
+        f"rings sizes={[len(r) for r in rings]}"
+    )
+
+
+def generate_boundary_layer(
+    pslg: PSLG,
+    config: Optional[BoundaryLayerConfig] = None,
+    *,
+    sizing: Optional[SizingFunction] = None,
+) -> BoundaryLayerResult:
+    """Run the full anisotropic boundary-layer stage on all body loops."""
+    config = config or BoundaryLayerConfig()
+    growth = config.growth_function()
+    default_height = min(growth.height(config.max_layers), config.max_height)
+
+    element_rays: List[List[Ray]] = []
+    for el, loop in enumerate(pslg.body_loops):
+        sv = loop_surface_vertices(
+            pslg, loop,
+            large_angle=math.radians(config.large_angle_deg),
+            cusp_angle=math.radians(config.cusp_angle_deg),
+        )
+        rays = refine_rays(
+            sv, element=el,
+            max_ray_angle=math.radians(config.max_ray_angle_deg),
+        )
+        element_rays.append(rays)
+
+    n_self = 0
+    for rays in element_rays:
+        n_self += resolve_self_intersections(
+            rays, default_height,
+            truncation_factor=config.truncation_factor,
+        )
+    n_multi = 0
+    if len(element_rays) > 1:
+        n_multi = resolve_multi_element_intersections(
+            element_rays, default_height,
+            truncation_factor=config.truncation_factor,
+        )
+
+    n_points = 0
+    for rays in element_rays:
+        n_points += insert_points(
+            rays, growth,
+            sizing=sizing,
+            isotropy_factor=config.isotropy_factor,
+            max_layers=config.max_layers,
+            max_height=config.max_height,
+        )
+    n_shrunk = _simplify_borders(element_rays)
+
+    # ------------------------------------------------------------------
+    # Assemble the PSLG of the boundary-layer annuli and triangulate.
+    # ------------------------------------------------------------------
+    coord_id: Dict[tuple, int] = {}
+    pts: List[tuple] = []
+
+    def vid(p: tuple) -> int:
+        i = coord_id.get(p)
+        if i is None:
+            i = len(pts)
+            coord_id[p] = i
+            pts.append(p)
+        return i
+
+    segments: List[Tuple[int, int]] = []
+    surface_loops: List[np.ndarray] = []
+    outer_borders: List[np.ndarray] = []
+    holes: List[Tuple[float, float]] = []
+
+    for el, rays in enumerate(element_rays):
+        surf_ring = _dedupe_ring([r.origin for r in rays])
+        outer_ring = _dedupe_ring([r.tip() for r in rays])
+        surface_loops.append(np.asarray(surf_ring, dtype=np.float64))
+        outer_borders.append(np.asarray(outer_ring, dtype=np.float64))
+        for ring in (surf_ring, outer_ring):
+            ids = [vid(p) for p in ring]
+            m = len(ids)
+            for i in range(m):
+                u, v = ids[i], ids[(i + 1) % m]
+                if u != v:
+                    segments.append((u, v))
+        holes.append(interior_seed(np.asarray(surf_ring)))
+        # Interior layer points.
+        for r in rays:
+            for h in r.heights:
+                vid(r.point_at(h))
+
+    if config.triangulation == "structured":
+        from .structured_bl import triangulate_structured
+
+        mesh, struct_stats = triangulate_structured(element_rays)
+    elif config.triangulation == "delaunay":
+        tri = triangulate_pslg(
+            np.asarray(pts, dtype=np.float64),
+            np.asarray(segments, dtype=np.int64),
+        )
+        mask = carve(tri, holes)
+        mesh = tri.to_mesh(keep_mask=mask)
+    else:
+        raise ValueError(
+            f"unknown BL triangulation mode: {config.triangulation!r}")
+
+    return BoundaryLayerResult(
+        element_rays=element_rays,
+        points=np.asarray(pts, dtype=np.float64),
+        mesh=mesh,
+        outer_borders=outer_borders,
+        surface_loops=surface_loops,
+        stats={
+            "n_rays": float(sum(len(r) for r in element_rays)),
+            "n_points": float(len(pts)),
+            "n_self_truncations": float(n_self),
+            "n_multi_truncations": float(n_multi),
+            "n_border_shrinks": float(n_shrunk),
+            "n_triangles": float(mesh.n_triangles),
+        },
+    )

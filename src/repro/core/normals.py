@@ -1,0 +1,127 @@
+"""Surface normals and turn-angle classification at PSLG vertices.
+
+Section II.A of the paper: every vertex of the discretised surface emits a
+ray along its outward normal (Fig. 2).  The vertex normal is the
+normalised bisector of the two adjacent edge normals.  Where the surface
+slope changes rapidly (leading edge) or is discontinuous (trailing-edge
+cusp, blunt-base corners), the angle between neighbouring normals grows
+and triggers the refinement of Section II.B — classified here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+import numpy as np
+
+from ..geometry.pslg import PSLG, Loop
+from ..geometry.primitives import normalize, perp_right, signed_turn_angle
+
+__all__ = ["VertexKind", "SurfaceVertex", "loop_surface_vertices"]
+
+
+class VertexKind(Enum):
+    """Classification of a surface vertex by its exterior turn angle."""
+
+    SMOOTH = "smooth"          # |turn| below the large-angle threshold
+    LARGE_ANGLE = "large"      # convex turn large enough to need ray fans
+    CUSP = "cusp"              # near-reversal (trailing-edge cusp)
+    CONCAVE = "concave"        # reflex corner (cove) — self-intersection risk
+
+
+@dataclass
+class SurfaceVertex:
+    """A PSLG surface vertex with its differential data.
+
+    Attributes
+    ----------
+    index:
+        Global PSLG vertex index.
+    position:
+        ``(x, y)``.
+    normal:
+        Outward unit normal (bisector of adjacent edge normals).
+    turn:
+        Exterior turn angle in radians at the vertex: positive where the
+        surface turns *convex* (away from the body), negative at reflex
+        (concave) corners.  A straight surface has turn 0; a trailing-edge
+        cusp approaches pi.
+    kind:
+        :class:`VertexKind` classification.
+    edge_length_before / edge_length_after:
+        Lengths of the incident surface edges (used to size fans and the
+        isotropy hand-off).
+    """
+
+    index: int
+    position: tuple
+    normal: tuple
+    turn: float
+    kind: VertexKind
+    edge_length_before: float
+    edge_length_after: float
+
+
+def loop_surface_vertices(
+    pslg: PSLG,
+    loop: Loop,
+    *,
+    large_angle: float = math.radians(40.0),
+    cusp_angle: float = math.radians(100.0),
+) -> List[SurfaceVertex]:
+    """Compute normals and classifications for every vertex of ``loop``.
+
+    ``large_angle`` is the threshold above which the convex turn triggers
+    refining rays; ``cusp_angle`` the threshold for full fans (Fig. 4).
+    For a CCW body loop the outward normal of edge ``t`` is the right
+    perpendicular of its tangent.
+    """
+    if not 0 < large_angle <= cusp_angle < math.pi:
+        raise ValueError("need 0 < large_angle <= cusp_angle < pi")
+    pts = pslg.loop_points(loop)
+    tangents = pslg.loop_edge_tangents(loop)
+    lengths = pslg.loop_edge_lengths(loop)
+    n = len(pts)
+    out: List[SurfaceVertex] = []
+    for i in range(n):
+        t_in = tangents[(i - 1) % n]   # edge arriving at vertex i
+        t_out = tangents[i]            # edge leaving vertex i
+        n_in = perp_right(t_in)
+        n_out = perp_right(t_out)
+        # Exterior turn: for a CCW loop (interior on the left), a convex
+        # corner turns the tangent counter-clockwise (left), giving a
+        # positive signed angle; reflex (concave) corners turn right.
+        turn = signed_turn_angle(t_in, t_out)
+        bx, by = n_in[0] + n_out[0], n_in[1] + n_out[1]
+        if math.hypot(bx, by) < 1e-12:
+            # Opposite edge normals (perfect cusp): bisector undefined;
+            # use the direction opposite the mean tangent.
+            bx, by = -(t_in[0] + t_out[0]), -(t_in[1] + t_out[1])
+            if math.hypot(bx, by) < 1e-12:
+                # Doubled-back zero-width sliver: fall back to n_in.
+                bx, by = n_in
+        normal = normalize((bx, by))
+
+        if turn <= -large_angle:
+            kind = VertexKind.CONCAVE
+        elif turn >= cusp_angle:
+            kind = VertexKind.CUSP
+        elif turn >= large_angle:
+            kind = VertexKind.LARGE_ANGLE
+        else:
+            kind = VertexKind.SMOOTH
+        out.append(
+            SurfaceVertex(
+                index=int(loop.indices[i]),
+                position=(float(pts[i, 0]), float(pts[i, 1])),
+                normal=normal,
+                turn=float(turn),
+                kind=kind,
+                edge_length_before=float(lengths[(i - 1) % n]),
+                edge_length_after=float(lengths[i]),
+            )
+        )
+    return out

@@ -1,0 +1,111 @@
+"""Paraboloid projection and dividing-path extraction (Section II.D).
+
+The Blelloch et al. projection-based decomposition exploits the duality
+between the 2D Delaunay triangulation and the 3D lower convex hull of the
+lifted points z = |p|^2: the Delaunay edges crossed by a median line are
+exactly the edges of the 2D lower convex hull of the points *projected
+onto a paraboloid centred at the median vertex and flattened onto the
+vertical plane perpendicular to the cut axis* (paper Fig. 6b; proof in
+Kadow's thesis).
+
+Concretely, for a vertical median line through ``m = (mx, my)`` (cut axis
+``"y"``), each point ``p`` maps to::
+
+    u = p.y                     (coordinate along the line)
+    v = (p.x - mx)^2 + (p.y - my)^2   (squared distance to the centre)
+
+and the lower hull of the ``(u, v)`` set — computable in linear time from
+the maintained y-sorted order with the monotone chain — is the dividing
+path.  (Centring at the median vertex only adds a function *linear in u*
+plus a constant to the canonical lift, which leaves hull membership
+unchanged but keeps the numbers small — the paper's stated reason for
+storing projected coordinates inside the Vertex objects.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..delaunay.hull import lower_hull_sorted
+from .subdomain import Subdomain
+
+__all__ = ["project_onto_paraboloid", "dividing_path", "side_of_path"]
+
+
+def side_of_path(path: np.ndarray, axis: str, point) -> int:
+    """Orientation sign of ``point`` against a u-monotone dividing path.
+
+    ``path`` is the ``(k, 2)`` polyline ordered along the cut axis
+    (+y for ``axis="y"``, +x for ``axis="x"``).  The sign is the robust
+    orientation against the path segment *nearest* to the point among
+    those whose u-range covers the point's u (weakly monotone runs — a
+    path edge parallel to the median line — make the covering segment
+    ambiguous; the covering strip's segment gives the correct side for a
+    monotone chain).  +1 means left of the directed path (smaller x for a
+    vertical cut, larger y for a horizontal one); 0 means exactly on it.
+    """
+    from ..geometry.predicates import orient2d
+
+    if len(path) < 2:
+        return 0
+    u = point[1] if axis == "y" else point[0]
+    us = path[:, 1] if axis == "y" else path[:, 0]
+    # Covering segment: within the strip u in [us[j], us[j+1]] the chain
+    # is exactly that segment, so the orientation against it is the side.
+    j = int(np.searchsorted(us, u, side="right")) - 1
+    j = min(max(j, 0), len(path) - 2)
+    return orient2d(path[j], path[j + 1], point)
+
+
+def project_onto_paraboloid(coords: np.ndarray, axis: str,
+                            center: Tuple[float, float]) -> np.ndarray:
+    """Flattened paraboloid coordinates ``(u, v)`` for every point.
+
+    ``axis`` is the cut axis: ``"y"`` (vertical median line) keeps u = y;
+    ``"x"`` keeps u = x.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    dx = coords[:, 0] - center[0]
+    dy = coords[:, 1] - center[1]
+    v = dx * dx + dy * dy
+    u = coords[:, 1] if axis == "y" else coords[:, 0]
+    return np.column_stack([u, v])
+
+
+def dividing_path(sub: Subdomain, axis: str, median_local: int) -> np.ndarray:
+    """Local indices of the dividing-path vertices, ordered along the line.
+
+    Consecutive pairs are Delaunay edges of the subdomain's point set
+    (and, by the decomposition invariant, of the original full set).
+    The median vertex itself always lies on the path: it projects to the
+    paraboloid's apex ``(u_m, 0)``, the unique minimum of ``v``.
+    """
+    center = (float(sub.coords[median_local, 0]),
+              float(sub.coords[median_local, 1]))
+    uv = project_onto_paraboloid(sub.coords, axis, center)
+    order = sub.y_order if axis == "y" else sub.x_order
+    # The maintained order is sorted by u (with ties broken by the other
+    # coordinate, not by v). Fix tie runs so the sweep sees lexicographic
+    # (u, v) order, preserving the linear-time bound for distinct u.
+    order = _fix_tie_runs(uv, np.asarray(order))
+    hull = lower_hull_sorted(uv, order)
+    return np.asarray(hull, dtype=np.int64)
+
+
+def _fix_tie_runs(uv: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Re-sort runs of equal u by v (runs are rare and short)."""
+    u = uv[order, 0]
+    out = order.copy()
+    n = len(order)
+    i = 0
+    while i < n:
+        j = i + 1
+        while j < n and u[j] == u[i]:
+            j += 1
+        if j - i > 1:
+            run = out[i:j]
+            out[i:j] = run[np.argsort(uv[run, 1], kind="stable")]
+        i = j
+    return out

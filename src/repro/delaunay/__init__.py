@@ -1,0 +1,46 @@
+"""Delaunay substrate: kernel, hull, constrained triangulation, refinement.
+
+This package is the repository's from-scratch replacement for Shewchuk's
+Triangle (see DESIGN.md, substitutions table).
+"""
+
+from .constrained import constrained_delaunay, insert_segment, triangulate_pslg, carve
+from .dnc import insertion_order, triangulate_ordered
+from .hull import convex_hull, lower_hull, lower_hull_sorted, upper_hull
+from .kernel import (
+    GHOST,
+    Triangulation,
+    TriangulationError,
+    delaunay_mesh,
+    triangulate,
+)
+from .mesh import TriMesh, merge_meshes
+from .refine import RUPPERT_BOUND, RefinementError, Refiner, refine_pslg
+from .smooth import ValidationReport, laplacian_smooth, validate_mesh
+
+__all__ = [
+    "GHOST",
+    "RUPPERT_BOUND",
+    "RefinementError",
+    "Refiner",
+    "TriMesh",
+    "Triangulation",
+    "TriangulationError",
+    "ValidationReport",
+    "laplacian_smooth",
+    "validate_mesh",
+    "carve",
+    "constrained_delaunay",
+    "convex_hull",
+    "delaunay_mesh",
+    "insert_segment",
+    "insertion_order",
+    "lower_hull",
+    "lower_hull_sorted",
+    "merge_meshes",
+    "refine_pslg",
+    "triangulate",
+    "triangulate_ordered",
+    "triangulate_pslg",
+    "upper_hull",
+]

@@ -1,0 +1,96 @@
+"""Divide-and-conquer style driver options for the triangulator.
+
+Shewchuk's Triangle triangulates with divide-and-conquer; the paper makes
+two Triangle-specific optimisations (Section III):
+
+1. it removes Triangle's internal x-sort because the decomposition already
+   maintains x-sorted vertices, and
+2. it forces *vertical cuts only*, which is faster for the small vertex
+   sets produced by over-decomposition.
+
+Our kernel is incremental rather than D&C, so the corresponding knobs are
+the **insertion order**: x-sorted insertion (``order="sorted"``, walks are
+O(1) because each point lands beside its predecessor — the analogue of
+reusing the maintained sort), Hilbert-flavoured block shuffling
+(``order="brio"``, robust for arbitrary inputs), or plain random.  This
+module provides those policies plus the benchmark hooks the ablation study
+uses (DESIGN.md: "Sorted-input reuse for the triangulator").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Literal, Optional
+
+import numpy as np
+
+from .kernel import Triangulation
+from .mesh import TriMesh
+
+__all__ = ["insertion_order", "triangulate_ordered"]
+
+OrderPolicy = Literal["sorted", "random", "brio", "given"]
+
+
+def insertion_order(points: np.ndarray, policy: OrderPolicy = "brio",
+                    *, seed: int = 0) -> np.ndarray:
+    """Compute an insertion order for ``points`` under ``policy``.
+
+    - ``"sorted"``: lexicographic (x, y) — mirrors the paper's reuse of the
+      maintained x-sorted arrays ("we removed the sorting step from
+      Triangle").
+    - ``"random"``: uniform shuffle.
+    - ``"brio"``: biased randomised insertion order — random within
+      geometrically growing rounds, each round spatially sorted; keeps
+      walks short *and* cavity sizes bounded in expectation.
+    - ``"given"``: identity.
+    """
+    n = len(points)
+    if policy == "given":
+        return np.arange(n)
+    if policy == "sorted":
+        return np.lexsort((points[:, 1], points[:, 0]))
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    if policy == "random":
+        return perm
+    if policy == "brio":
+        # Rounds of size 8, 16, 32, ... over the shuffled sequence, each
+        # round sorted along a snake of x to localise successive inserts.
+        order = []
+        start = 0
+        size = 8
+        while start < n:
+            block = perm[start:start + size]
+            block = block[np.argsort(points[block, 0])]
+            order.append(block)
+            start += size
+            size *= 2
+        return np.concatenate(order) if order else np.arange(0)
+    raise ValueError(f"unknown insertion-order policy: {policy}")
+
+
+def triangulate_ordered(points: np.ndarray, policy: OrderPolicy = "brio",
+                        *, seed: int = 0) -> TriMesh:
+    """Triangulate with an explicit insertion-order policy.
+
+    Returns a :class:`TriMesh` whose vertex indices match ``points``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    order = insertion_order(points, policy, seed=seed)
+    tri = Triangulation()
+    kernel_id: Dict[int, int] = {}
+    for i in order:
+        kernel_id[int(i)] = tri.insert_point(points[i, 0], points[i, 1])
+    inv: Dict[int, int] = {}
+    for i, k in kernel_id.items():
+        if k not in inv or i < inv[k]:
+            inv[k] = i
+    tris = [
+        (inv[a], inv[b], inv[c])
+        for t in tri.live_triangles()
+        if not tri.is_ghost(t)
+        for (a, b, c) in (tri.tri_v[t],)
+    ]
+    tarr = (np.asarray(tris, dtype=np.int32)
+            if tris else np.empty((0, 3), dtype=np.int32))
+    return TriMesh(points, tarr)

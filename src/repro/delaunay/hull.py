@@ -1,0 +1,90 @@
+"""Andrew's Monotone Chain convex hull.
+
+The projection-based decomposition (paper Section II.D, Fig. 7) computes
+the *lower* convex hull of points flattened onto a vertical plane.  Because
+those points arrive already sorted along the primary axis (the subdomain
+maintains x- and y-sorted vertex arrays), the hull is computed in
+**worst-case linear time**: one sweep, each point pushed once and popped at
+most once.
+
+``lower_hull``/``upper_hull``/``convex_hull`` operate on index arrays into
+a coordinate array so callers keep working with subdomain vertex ids.
+Right-hand-turn removal uses the robust orientation predicate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.predicates import orient2d
+
+__all__ = ["lower_hull", "upper_hull", "convex_hull", "lower_hull_sorted"]
+
+
+def _sorted_order(points: np.ndarray) -> np.ndarray:
+    """Lexicographic (x, then y) sort order of the rows of ``points``."""
+    return np.lexsort((points[:, 1], points[:, 0]))
+
+
+def lower_hull_sorted(points: np.ndarray, order: Sequence[int]) -> List[int]:
+    """Lower hull of ``points[order]`` where ``order`` is already sorted
+    lexicographically by (x, y).  Returns hull vertex ids (subset of
+    ``order``) from the leftmost to the rightmost point.  Collinear points
+    on the hull are *dropped* (strict turns only), which is what the
+    dividing-path construction wants: collinear interior points would
+    create zero-length-cavity path edges.
+
+    This is the linear-time core: each element is appended once and removed
+    at most once (paper Fig. 7's sweep).
+    """
+    hull: List[int] = []
+    for idx in order:
+        p = points[idx]
+        while len(hull) >= 2:
+            o = orient2d(points[hull[-2]], points[hull[-1]], p)
+            # Keep only strict left turns on the lower hull: pop while the
+            # last point makes a right turn or is collinear.
+            if o <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(int(idx))
+    return hull
+
+
+def lower_hull(points: np.ndarray) -> List[int]:
+    """Lower convex hull indices of an unsorted ``(n, 2)`` array."""
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) == 0:
+        return []
+    return lower_hull_sorted(points, _sorted_order(points))
+
+
+def upper_hull(points: np.ndarray) -> List[int]:
+    """Upper convex hull indices of an unsorted ``(n, 2)`` array."""
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) == 0:
+        return []
+    order = _sorted_order(points)[::-1]
+    # The upper hull is the lower hull of the reversed sweep.
+    return lower_hull_sorted(points, order)
+
+
+def convex_hull(points: np.ndarray) -> List[int]:
+    """Full convex hull in counter-clockwise order (no repeated endpoint).
+
+    Degenerate inputs: fewer than 3 distinct points, or all points
+    collinear, return the extreme points only (0, 1 or 2 indices).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n == 0:
+        return []
+    lo = lower_hull(points)
+    hi = upper_hull(points)
+    if len(lo) <= 1:
+        return lo
+    # Concatenate, dropping the duplicated extreme points.
+    return lo[:-1] + hi[:-1] if len(lo) + len(hi) > 2 else lo

@@ -1,0 +1,835 @@
+"""Incremental Delaunay triangulation kernel (Bowyer–Watson with ghosts).
+
+This is the repository's substitute for Shewchuk's Triangle: the engine
+used to triangulate boundary-layer subdomains and to Delaunay-refine the
+decoupled inviscid subdomains.  Design:
+
+* **Ghost triangles.**  The convex hull is bordered by *ghost* triangles
+  sharing a symbolic vertex :data:`GHOST`.  A ghost triangle ``[u, v, G]``
+  represents the open half-plane strictly left of the directed hull edge
+  ``u -> v`` (plus the open edge itself).  Ghosts make insertion outside
+  the current hull a completely uniform cavity operation — no giant
+  super-triangle, no magic coordinates, exact arithmetic everywhere.
+* **Robust predicates.**  All sign decisions go through
+  :mod:`repro.geometry.predicates`, so the kernel never produces an
+  inverted triangle and cavity searches terminate.
+* **Walking point location** seeded from the most recent triangle (or a
+  caller-provided hint), with a step cap and a brute-force fallback for
+  adversarial inputs.
+* **Constrained edges.**  A set of locked undirected edges that cavity
+  searches refuse to cross; segment *recovery* (making an arbitrary edge
+  appear) lives in :mod:`repro.delaunay.constrained`.
+
+The structure is array-of-lists Python for mutability; :meth:`to_mesh`
+exports a contiguous :class:`~repro.delaunay.mesh.TriMesh`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geometry.predicates import incircle, orient2d
+from ..geometry.primitives import point_on_segment
+from .mesh import TriMesh
+
+__all__ = [
+    "GHOST",
+    "Triangulation",
+    "TriangulationError",
+    "delaunay_mesh",
+    "triangulate",
+]
+
+GHOST = -1
+
+
+class TriangulationError(RuntimeError):
+    """Raised for structurally invalid kernel operations."""
+
+
+class Triangulation:
+    """Mutable 2D Delaunay triangulation under incremental insertion.
+
+    Create empty, then :meth:`insert_point` each vertex (or use the
+    module-level :func:`triangulate` convenience).  Triangle slots are
+    recycled through a free list so ids stay dense.
+    """
+
+    def __init__(self) -> None:
+        self.pts: List[Tuple[float, float]] = []
+        self.tri_v: List[Optional[List[int]]] = []   # 3 vertex ids or None (dead)
+        self.tri_n: List[Optional[List[int]]] = []   # 3 neighbour tri ids
+        self._free: List[int] = []
+        self.vertex_tri: List[int] = []              # one incident tri per vertex
+        self.constraints: Set[Tuple[int, int]] = set()
+        self._last_tri: int = -1                     # walk hint
+        self._rng = random.Random(0x5EED)
+        self._lcg = 0x5EED
+        self.n_live_triangles = 0                    # includes ghosts
+        # Triangles created/removed by the most recent insert_point call —
+        # lets refinement track per-triangle labels in O(cavity) instead of
+        # O(n) snapshots.
+        self.last_created: List[int] = []
+        self.last_removed: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Low-level triangle bookkeeping
+    # ------------------------------------------------------------------
+    def _new_triangle(self, a: int, b: int, c: int) -> int:
+        if self._free:
+            t = self._free.pop()
+            self.tri_v[t] = [a, b, c]
+            self.tri_n[t] = [-1, -1, -1]
+        else:
+            t = len(self.tri_v)
+            self.tri_v.append([a, b, c])
+            self.tri_n.append([-1, -1, -1])
+        for v in (a, b, c):
+            if v != GHOST:
+                self.vertex_tri[v] = t
+        self.n_live_triangles += 1
+        return t
+
+    def _kill_triangle(self, t: int) -> None:
+        self.tri_v[t] = None
+        self.tri_n[t] = None
+        self._free.append(t)
+        self.n_live_triangles -= 1
+
+    def is_ghost(self, t: int) -> bool:
+        tv = self.tri_v[t]
+        return tv is not None and (tv[0] == GHOST or tv[1] == GHOST or tv[2] == GHOST)
+
+    def _edge(self, t: int, k: int) -> Tuple[int, int]:
+        """Directed edge opposite vertex ``k`` of triangle ``t``."""
+        tv = self.tri_v[t]
+        return tv[(k + 1) % 3], tv[(k + 2) % 3]
+
+    def _set_mutual(self, t1: int, k1: int, t2: int, k2: int) -> None:
+        self.tri_n[t1][k1] = t2
+        self.tri_n[t2][k2] = t1
+
+    def _edge_index(self, t: int, u: int, v: int) -> int:
+        """Index k such that the directed edge k of ``t`` is (u, v)."""
+        tv = self.tri_v[t]
+        for k in range(3):
+            if tv[(k + 1) % 3] == u and tv[(k + 2) % 3] == v:
+                return k
+        raise TriangulationError(f"edge ({u},{v}) not in triangle {t}={tv}")
+
+    def ghost_edge(self, t: int) -> Tuple[int, int]:
+        """The real directed hull edge ``(u, v)`` of ghost triangle ``t``."""
+        tv = self.tri_v[t]
+        for k in range(3):
+            if tv[k] == GHOST:
+                return tv[(k + 1) % 3], tv[(k + 2) % 3]
+        raise TriangulationError(f"triangle {t} is not a ghost")
+
+    def live_triangles(self) -> Iterable[int]:
+        for t, tv in enumerate(self.tri_v):
+            if tv is not None:
+                yield t
+
+    # ------------------------------------------------------------------
+    # Predicates (real / ghost uniform)
+    # ------------------------------------------------------------------
+    def _in_disk(self, t: int, p: Tuple[float, float]) -> bool:
+        """True if ``p`` lies in triangle ``t``'s (possibly ghost) open
+        circumdisk — the Bowyer–Watson cavity membership test."""
+        tv = self.tri_v[t]
+        if GHOST not in tv:
+            return incircle(self.pts[tv[0]], self.pts[tv[1]], self.pts[tv[2]], p) > 0
+        u, v = self.ghost_edge(t)
+        pu, pv = self.pts[u], self.pts[v]
+        # Ghost [u, v, G]: outside-hull half-plane strictly left of u->v,
+        # plus the open edge uv.
+        o = orient2d(pu, pv, p)
+        if o > 0:
+            return True
+        if o == 0:
+            return (
+                min(pu[0], pv[0]) <= p[0] <= max(pu[0], pv[0])
+                and min(pu[1], pv[1]) <= p[1] <= max(pu[1], pv[1])
+                and p != tuple(pu) and p != tuple(pv)
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    # Point location
+    # ------------------------------------------------------------------
+    def locate(self, p: Tuple[float, float], hint: int = -1) -> int:
+        """Return a triangle whose closed region contains ``p``.
+
+        For ``p`` outside the hull this is a ghost triangle whose
+        half-plane contains it.  Uses a straight walk with random edge
+        tie-breaking; falls back to exhaustive scan after a step cap (can
+        only trigger on adversarial degeneracies).
+        """
+        if self.n_live_triangles == 0:
+            raise TriangulationError("empty triangulation")
+        t = hint if hint >= 0 and self.tri_v[hint] is not None else self._last_tri
+        if t < 0 or self.tri_v[t] is None:
+            t = next(iter(self.live_triangles()))
+        if self.is_ghost(t):
+            # step into the real triangle across the hull edge
+            u, v = self.ghost_edge(t)
+            k = self._edge_index(t, u, v)
+            nb = self.tri_n[t][k]
+            t = nb if nb >= 0 else t
+
+        max_steps = 4 * (self.n_live_triangles + 8)
+        steps = 0
+        prev = -1
+        while steps < max_steps:
+            steps += 1
+            if self.is_ghost(t):
+                # Walked off the hull; check this ghost's half-plane.
+                u, v = self.ghost_edge(t)
+                if orient2d(self.pts[u], self.pts[v], p) >= 0:
+                    self._last_tri = t
+                    return t
+                # p visible from a different hull edge: walk along the hull.
+                # Move to the next ghost sharing vertex v or u.
+                tv = self.tri_v[t]
+                g = tv.index(GHOST)
+                nxt = self.tri_n[t][(g + 1) % 3]  # neighbour across (v, G)
+                if nxt == prev:
+                    nxt = self.tri_n[t][(g + 2) % 3]
+                prev, t = t, nxt
+                continue
+            moved = False
+            # Cheap pseudo-random starting edge (an LCG step) breaks the
+            # degenerate walk cycles a fixed order could orbit, without
+            # the cost of a real shuffle on every step.
+            self._lcg = (self._lcg * 1103515245 + 12345) & 0x7FFFFFFF
+            k0 = self._lcg % 3
+            for dk in range(3):
+                k = (k0 + dk) % 3
+                u, v = self._edge(t, k)
+                if self.tri_n[t][k] == prev:
+                    continue
+                if orient2d(self.pts[u], self.pts[v], p) < 0:
+                    prev, t = t, self.tri_n[t][k]
+                    moved = True
+                    break
+            if not moved:
+                self._last_tri = t
+                return t
+        # Fallback: exhaustive containment scan (exact).
+        for t in self.live_triangles():
+            if self.is_ghost(t):
+                continue
+            tv = self.tri_v[t]
+            if all(
+                orient2d(self.pts[tv[(k + 1) % 3]], self.pts[tv[(k + 2) % 3]], p) >= 0
+                for k in range(3)
+            ):
+                self._last_tri = t
+                return t
+        for t in self.live_triangles():
+            if self.is_ghost(t) and self._in_disk(t, p):
+                self._last_tri = t
+                return t
+        raise TriangulationError(f"point {p} could not be located")
+
+    def find_vertex_at(self, p: Tuple[float, float], t: int) -> Optional[int]:
+        """Vertex of triangle ``t`` exactly coincident with ``p``, if any."""
+        for v in self.tri_v[t]:
+            if v != GHOST and tuple(self.pts[v]) == (p[0], p[1]):
+                return v
+        return None
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert_point(self, x: float, y: float, *, hint: int = -1,
+                     on_duplicate: str = "return") -> int:
+        """Insert vertex ``(x, y)``; returns its id.
+
+        ``on_duplicate``: ``"return"`` yields the existing vertex id,
+        ``"raise"`` raises :class:`TriangulationError`.
+
+        The first three non-collinear points bootstrap the initial
+        triangle + three ghosts; collinear prefixes are buffered.
+        """
+        p = (float(x), float(y))
+        if not (np.isfinite(p[0]) and np.isfinite(p[1])):
+            raise ValueError("non-finite coordinates")
+        self.last_created = []
+        self.last_removed = []
+
+        if self.n_live_triangles == 0:
+            return self._bootstrap_insert(p, on_duplicate)
+
+        t0 = self.locate(p, hint)
+        dup = self.find_vertex_at(p, t0)
+        if dup is None and not self.is_ghost(t0):
+            # p may coincide with a vertex of a neighbouring triangle when it
+            # sits exactly on an edge of t0; check edge endpoints too.
+            for v in self.tri_v[t0]:
+                if v != GHOST and tuple(self.pts[v]) == p:
+                    dup = v
+        if dup is not None:
+            if on_duplicate == "raise":
+                raise TriangulationError(f"duplicate point {p}")
+            return dup
+
+        vid = len(self.pts)
+        self.pts.append(p)
+        self.vertex_tri.append(-1)
+        self._insert_into_cavity(vid, t0)
+        return vid
+
+    def _bootstrap_insert(self, p: Tuple[float, float], on_duplicate: str) -> int:
+        """Handle insertions before the first real triangle exists."""
+        for i, q in enumerate(self.pts):
+            if q == p:
+                if on_duplicate == "raise":
+                    raise TriangulationError(f"duplicate point {p}")
+                return i
+        self.pts.append(p)
+        self.vertex_tri.append(-1)
+        if len(self.pts) < 3:
+            return len(self.pts) - 1
+        # Try to find a non-collinear triple including the newest point.
+        n = len(self.pts)
+        c = n - 1
+        for a in range(n):
+            for b in range(a + 1, n):
+                if b == c or a == c:
+                    continue
+                o = orient2d(self.pts[a], self.pts[b], self.pts[c])
+                if o != 0:
+                    if o < 0:
+                        a, b = b, a
+                    self._create_first_triangle(a, b, c)
+                    # Re-insert any remaining buffered points.
+                    used = {a, b, c}
+                    for v in range(n):
+                        if v not in used:
+                            t0 = self.locate(self.pts[v])
+                            self._insert_into_cavity(v, t0)
+                    return c
+        return c  # all points still collinear
+
+    def _create_first_triangle(self, a: int, b: int, c: int) -> None:
+        t = self._new_triangle(a, b, c)
+        # Ghosts: [c,b,G], [a,c,G], [b,a,G] — outside left of each edge.
+        g0 = self._new_triangle(c, b, GHOST)  # across edge (b, c)
+        g1 = self._new_triangle(a, c, GHOST)  # across edge (c, a)
+        g2 = self._new_triangle(b, a, GHOST)  # across edge (a, b)
+        # Real <-> ghost links.
+        self._set_mutual(t, 0, g0, self._edge_index(g0, c, b))
+        self._set_mutual(t, 1, g1, self._edge_index(g1, a, c))
+        self._set_mutual(t, 2, g2, self._edge_index(g2, b, a))
+        # Ghost <-> ghost links (around GHOST).
+        for ga, gb in ((g0, g2), (g2, g1), (g1, g0)):
+            ua, va = self.ghost_edge(ga)
+            ub, vb = self.ghost_edge(gb)
+            # ga edge (va, G) matches gb edge (G, ub) when va == ub
+            ka = self._edge_index(ga, va, GHOST)
+            kb = self._edge_index(gb, GHOST, ub)
+            if va != ub:
+                raise TriangulationError("ghost ring construction bug")
+            self._set_mutual(ga, ka, gb, kb)
+        self._last_tri = t
+        self.last_created = [t, g0, g1, g2]
+        self.last_removed = []
+
+    def _insert_into_cavity(self, vid: int, t0: int) -> None:
+        """Bowyer–Watson: carve the cavity of circumdisks containing the new
+        point and re-fan from it.  Never crosses constrained edges."""
+        p = self.pts[vid]
+        if not self._in_disk(t0, p):
+            # locate returned a triangle whose closed region holds p but p
+            # is on its boundary; at least one adjacent triangle's open
+            # disk must contain p. Search neighbours.
+            found = None
+            for k in range(3):
+                nb = self.tri_n[t0][k]
+                if nb >= 0 and self._in_disk(nb, p):
+                    found = nb
+                    break
+            if found is None:
+                raise TriangulationError(
+                    f"insertion point {p} in no circumdisk (duplicate?)"
+                )
+            t0 = found
+
+        cavity: Set[int] = {t0}
+        stack = [t0]
+        blocked = False
+        while stack:
+            t = stack.pop()
+            for k in range(3):
+                nb = self.tri_n[t][k]
+                if nb < 0 or nb in cavity:
+                    continue
+                u, v = self._edge(t, k)
+                if u != GHOST and v != GHOST:
+                    key = (u, v) if u < v else (v, u)
+                    if key in self.constraints:
+                        blocked = True
+                        continue
+                if self._in_disk(nb, p):
+                    cavity.add(nb)
+                    stack.append(nb)
+
+        # Constrained-Delaunay visibility pruning: with spiky constrained
+        # boundaries the circumdisk BFS can wrap AROUND a constrained edge
+        # (reaching both of its sides without ever crossing it).  Keeping
+        # such triangles would delete the constraint during
+        # retriangulation.  Detect the configuration and prune cavity
+        # triangles whose centroid is not visible from p.
+        if self.constraints:
+            wrapped_edge = False
+            for t in cavity:
+                for k in range(3):
+                    nb = self.tri_n[t][k]
+                    if nb not in cavity:
+                        continue
+                    u, v = self._edge(t, k)
+                    if u == GHOST or v == GHOST:
+                        continue
+                    key = (u, v) if u < v else (v, u)
+                    if key in self.constraints:
+                        wrapped_edge = True
+                        break
+                if wrapped_edge:
+                    break
+            if wrapped_edge:
+                cavity = self._prune_cavity_visibility(cavity, t0, p)
+                blocked = True
+
+        # Collect directed boundary edges (u, v) with their outside triangle.
+        boundary: List[Tuple[int, int, int, int]] = []  # (u, v, nb, nb_edge_k)
+        for t in cavity:
+            for k in range(3):
+                nb = self.tri_n[t][k]
+                if nb in cavity:
+                    continue
+                u, v = self._edge(t, k)
+                nbk = self._edge_index(nb, v, u) if nb >= 0 else -1
+                boundary.append((u, v, nb, nbk))
+
+        self.last_removed = list(cavity)
+        for t in cavity:
+            self._kill_triangle(t)
+
+        start_map: Dict[int, int] = {}
+        end_map: Dict[int, int] = {}
+        new_tris: List[Tuple[int, int, int]] = []
+        for u, v, nb, nbk in boundary:
+            t = self._new_triangle(u, v, vid)
+            if nb >= 0:
+                self._set_mutual(t, 2, nb, nbk)  # edge 2 of [u,v,p] is (u,v)
+            start_map[u] = t
+            end_map[v] = t
+            new_tris.append(t)
+        # Link the fan: [u,v,p] edge0 = (v,p) borders triangle starting at v;
+        # edge1 = (p,u) borders triangle ending at u.
+        for t in new_tris:
+            u, v, _ = self.tri_v[t]
+            t_next = start_map.get(v)
+            t_prev = end_map.get(u)
+            if t_next is None or t_prev is None:
+                raise TriangulationError("open cavity boundary")
+            self.tri_n[t][0] = t_next
+            self.tri_n[t][1] = t_prev
+        self._last_tri = new_tris[0]
+        self.last_created = new_tris
+        # Pick a real incident triangle as the vertex hint when available.
+        for t in new_tris:
+            if not self.is_ghost(t):
+                self.vertex_tri[vid] = t
+                break
+        if blocked:
+            # A constraint clipped the cavity: the star fan is not
+            # automatically locally Delaunay, so legalise around the new
+            # vertex (Lawson flips, never crossing constraints).  Flips
+            # reuse the two triangle slots, so last_created stays valid.
+            self._legalize_vertex(vid)
+
+    def _prune_cavity_visibility(self, cavity: Set[int], t0: int,
+                                 p: Tuple[float, float]) -> Set[int]:
+        """Drop cavity triangles whose centroid p cannot see.
+
+        Visibility is tested against the constrained edges incident to
+        cavity triangles (a blocking constraint must appear there); the
+        surviving set is re-restricted to the connected component of
+        ``t0`` so the retriangulated fan stays star-shaped about ``p``.
+        """
+        from ..geometry.primitives import segments_intersect
+
+        constr: Set[Tuple[int, int]] = set()
+        for t in cavity:
+            tv = self.tri_v[t]
+            for k in range(3):
+                u, v = tv[(k + 1) % 3], tv[(k + 2) % 3]
+                if u == GHOST or v == GHOST:
+                    continue
+                key = (u, v) if u < v else (v, u)
+                if key in self.constraints:
+                    constr.add(key)
+        if not constr:
+            return cavity
+
+        def visible(t: int) -> bool:
+            tv = self.tri_v[t]
+            if GHOST in tv:
+                reals = [self.pts[w] for w in tv if w != GHOST]
+                cx = sum(q[0] for q in reals) / len(reals)
+                cy = sum(q[1] for q in reals) / len(reals)
+            else:
+                cx = sum(self.pts[w][0] for w in tv) / 3.0
+                cy = sum(self.pts[w][1] for w in tv) / 3.0
+            for (u, v) in constr:
+                if segments_intersect(p, (cx, cy), self.pts[u],
+                                      self.pts[v], proper_only=True):
+                    return False
+            return True
+
+        kept = {t for t in cavity if t == t0 or visible(t)}
+        # Connected component of t0 within the kept set, still never
+        # crossing constrained edges.
+        comp = {t0}
+        stack = [t0]
+        while stack:
+            t = stack.pop()
+            for k in range(3):
+                nb = self.tri_n[t][k]
+                if nb not in kept or nb in comp:
+                    continue
+                u, v = self._edge(t, k)
+                if u != GHOST and v != GHOST:
+                    key = (u, v) if u < v else (v, u)
+                    if key in self.constraints:
+                        continue
+                comp.add(nb)
+                stack.append(nb)
+        return comp
+
+    def _legalize_vertex(self, vid: int, *, max_ops: int = 100_000) -> None:
+        """Lawson legalisation of the edges opposite ``vid`` in its star.
+
+        Flips every non-constrained, non-locally-Delaunay edge opposite
+        ``vid``; each flip exposes two new opposite edges which are
+        re-queued (the classic incremental-Delaunay recursion).
+        """
+        from collections import deque
+
+        queue: deque = deque()
+        for t in self.triangles_around_vertex(vid):
+            tv = self.tri_v[t]
+            if tv is None or GHOST in tv:
+                continue
+            i = tv.index(vid)
+            queue.append((tv[(i + 1) % 3], tv[(i + 2) % 3]))
+        ops = 0
+        while queue:
+            ops += 1
+            if ops > max_ops:
+                raise TriangulationError("vertex legalisation diverged")
+            u, v = queue.popleft()
+            if u == GHOST or v == GHOST:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in self.constraints:
+                continue
+            # Find the triangle (vid, u, v) if it still exists.
+            t1 = None
+            for t in self.triangles_around_vertex(vid):
+                tv = self.tri_v[t]
+                if tv is not None and u in tv and v in tv and vid in tv:
+                    t1 = t
+                    break
+            if t1 is None:
+                continue
+            k1 = self.tri_v[t1].index(vid)
+            t2 = self.tri_n[t1][k1]
+            if t2 < 0 or self.is_ghost(t2):
+                continue
+            uu, vv = self._edge(t1, k1)
+            k2 = self._edge_index(t2, vv, uu)
+            w = self.tri_v[t2][k2]
+            if w == GHOST:
+                continue
+            tv1 = self.tri_v[t1]
+            if incircle(self.pts[tv1[0]], self.pts[tv1[1]],
+                        self.pts[tv1[2]], self.pts[w]) > 0:
+                if self.edge_is_flippable(t1, k1):
+                    self.flip(t1, k1)
+                    queue.append((uu, w))
+                    queue.append((w, vv))
+
+    # ------------------------------------------------------------------
+    # Edge flipping (used by constraint recovery and legalisation)
+    # ------------------------------------------------------------------
+    def flip(self, t1: int, k1: int) -> Tuple[int, int]:
+        """Flip the edge opposite vertex ``k1`` of ``t1``.
+
+        Returns the two triangle ids after the flip (same slots reused).
+        The quadrilateral must be strictly convex — caller checks.
+        """
+        t2 = self.tri_n[t1][k1]
+        if t2 < 0:
+            raise TriangulationError("cannot flip hull edge")
+        u, v = self._edge(t1, k1)
+        k2 = self._edge_index(t2, v, u)
+        a = self.tri_v[t1][k1]   # apex of t1
+        b = self.tri_v[t2][k2]   # apex of t2
+        if GHOST in (a, b, u, v):
+            raise TriangulationError("cannot flip an edge of a ghost triangle")
+        key = (u, v) if u < v else (v, u)
+        if key in self.constraints:
+            raise TriangulationError("cannot flip a constrained edge")
+
+        # Outer neighbours before rewiring.
+        n_uv_a = self.tri_n[t1][(k1 + 2) % 3]  # across (a, u)... see below
+        # Edges of t1 = [.., a at k1], directed edges: k1:(u,v), k1+1:(v,a), k1+2:(a,u)
+        n_va = self.tri_n[t1][(k1 + 1) % 3]    # across (v, a)
+        n_au = self.tri_n[t1][(k1 + 2) % 3]    # across (a, u)
+        n_ub = self.tri_n[t2][(k2 + 1) % 3]    # across (u, b)
+        n_bv = self.tri_n[t2][(k2 + 2) % 3]    # across (b, v)
+
+        # New triangles: t1 <- [a, u, b], t2 <- [b, v, a]; shared edge (a, b)?
+        # t1=[a,u,b]: edges: 0:(u,b) -> n_ub ; 1:(b,a) -> t2 ; 2:(a,u) -> n_au
+        # t2=[b,v,a]: edges: 0:(v,a) -> n_va ; 1:(a,b) -> t1 ; 2:(b,v) -> n_bv
+        self.tri_v[t1] = [a, u, b]
+        self.tri_v[t2] = [b, v, a]
+        self.tri_n[t1] = [n_ub, t2, n_au]
+        self.tri_n[t2] = [n_va, t1, n_bv]
+        # Fix back-pointers of outer neighbours.
+        for t, k, nb, eu, ev in (
+            (t1, 0, n_ub, u, b),
+            (t1, 2, n_au, a, u),
+            (t2, 0, n_va, v, a),
+            (t2, 2, n_bv, b, v),
+        ):
+            if nb >= 0:
+                self.tri_n[nb][self._edge_index(nb, ev, eu)] = t
+        for vv in (a, u, b):
+            if vv != GHOST:
+                self.vertex_tri[vv] = t1
+        for vv in (b, v, a):
+            if vv != GHOST:
+                self.vertex_tri[vv] = t2
+        return t1, t2
+
+    def edge_is_flippable(self, t1: int, k1: int) -> bool:
+        """The quad around edge k1 of t1 is strictly convex and all-real."""
+        t2 = self.tri_n[t1][k1]
+        if t2 < 0 or self.is_ghost(t1) or self.is_ghost(t2):
+            return False
+        u, v = self._edge(t1, k1)
+        k2 = self._edge_index(t2, v, u)
+        a = self.tri_v[t1][k1]
+        b = self.tri_v[t2][k2]
+        pa, pb = self.pts[a], self.pts[b]
+        pu, pv = self.pts[u], self.pts[v]
+        return (
+            orient2d(pa, pu, pb) > 0
+            and orient2d(pb, pv, pa) > 0
+        )
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def mark_constraint(self, u: int, v: int) -> None:
+        self.constraints.add((u, v) if u < v else (v, u))
+
+    def unmark_constraint(self, u: int, v: int) -> None:
+        self.constraints.discard((u, v) if u < v else (v, u))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if (u, v) is currently an edge of the triangulation."""
+        t = self.vertex_tri[u]
+        if t < 0:
+            return False
+        for tt in self.triangles_around_vertex(u):
+            if v in self.tri_v[tt]:
+                return True
+        return False
+
+    def triangles_around_vertex(self, v: int) -> List[int]:
+        """All live triangles (including ghosts) incident to vertex ``v``."""
+        t0 = self.vertex_tri[v]
+        if t0 < 0 or self.tri_v[t0] is None or v not in self.tri_v[t0]:
+            # Hint is stale; rebuild by scanning (rare).
+            t0 = -1
+            for t in self.live_triangles():
+                if v in self.tri_v[t]:
+                    t0 = t
+                    break
+            if t0 < 0:
+                return []
+            self.vertex_tri[v] = t0
+        out = [t0]
+        # Rotate around v using adjacency: in triangle t with v at index i,
+        # the next triangle CCW is across edge (i+1)%3 (the edge following... )
+        # Walk both directions to cope with hull interruptions (ghosts close
+        # the ring so a full loop always exists).
+        seen = {t0}
+        cur = t0
+        while True:
+            i = self.tri_v[cur].index(v)
+            nxt = self.tri_n[cur][(i + 1) % 3]
+            if nxt < 0 or nxt in seen:
+                break
+            seen.add(nxt)
+            out.append(nxt)
+            cur = nxt
+        cur = t0
+        while True:
+            i = self.tri_v[cur].index(v)
+            nxt = self.tri_n[cur][(i + 2) % 3]
+            if nxt < 0 or nxt in seen:
+                break
+            seen.add(nxt)
+            out.append(nxt)
+            cur = nxt
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_mesh(self, *, keep_mask: Optional[Sequence[bool]] = None) -> TriMesh:
+        """Export real triangles as a :class:`TriMesh`.
+
+        ``keep_mask`` (indexed by triangle id) optionally filters triangles
+        (used by exterior/hole carving).  Vertices are compacted; the
+        constraint set is exported as ``segments`` (only those whose both
+        endpoints survive).
+        """
+        tris: List[Tuple[int, int, int]] = []
+        for t in self.live_triangles():
+            if self.is_ghost(t):
+                continue
+            if keep_mask is not None and not keep_mask[t]:
+                continue
+            tris.append(tuple(self.tri_v[t]))
+        used = sorted({v for tri in tris for v in tri})
+        remap = {v: i for i, v in enumerate(used)}
+        pts = (np.asarray([self.pts[v] for v in used], dtype=np.float64)
+               if used else np.empty((0, 2), dtype=np.float64))
+        tarr = (
+            np.asarray([[remap[a], remap[b], remap[c]] for a, b, c in tris],
+                       dtype=np.int32)
+            if tris else np.empty((0, 3), dtype=np.int32)
+        )
+        segs = [
+            (remap[u], remap[v])
+            for u, v in self.constraints
+            if u in remap and v in remap
+        ]
+        sarr = (np.asarray(sorted(segs), dtype=np.int32)
+                if segs else np.empty((0, 2), dtype=np.int32))
+        return TriMesh(pts, tarr, sarr)
+
+    # ------------------------------------------------------------------
+    # Structural self-check (tests, expensive)
+    # ------------------------------------------------------------------
+    def check_integrity(self) -> None:
+        """Assert adjacency symmetry and positive orientation everywhere."""
+        for t in self.live_triangles():
+            tv = self.tri_v[t]
+            if GHOST not in tv:
+                o = orient2d(self.pts[tv[0]], self.pts[tv[1]], self.pts[tv[2]])
+                if o <= 0:
+                    raise TriangulationError(f"triangle {t}={tv} not CCW ({o})")
+            for k in range(3):
+                nb = self.tri_n[t][k]
+                if nb < 0:
+                    if self.n_live_triangles > 1:
+                        raise TriangulationError(f"triangle {t} edge {k} unlinked")
+                    continue
+                if self.tri_v[nb] is None:
+                    raise TriangulationError(f"{t} links dead triangle {nb}")
+                u, v = self._edge(t, k)
+                kk = self._edge_index(nb, v, u)
+                if self.tri_n[nb][kk] != t:
+                    raise TriangulationError(f"asymmetric adjacency {t}<->{nb}")
+
+
+def triangulate(points: np.ndarray, *, assume_sorted: bool = False) -> Triangulation:
+    """Delaunay-triangulate a point set incrementally.
+
+    ``assume_sorted`` mirrors the paper's Triangle optimisation (Section
+    III): when the caller guarantees x-sorted input the kernel inserts in
+    the given order, which keeps walks short (each point lands next to its
+    predecessor).  Otherwise points are inserted in a shuffled order for
+    expected-case robustness.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    tri, _ = _triangulate_with_map(points, assume_sorted=assume_sorted)
+    return tri
+
+
+def _brio_order(points: np.ndarray, seed: int = 0xC0FFEE) -> np.ndarray:
+    """Biased randomised insertion order: random rounds of doubling size,
+    each round x-sorted — keeps the walk from the previous insert short
+    (expected O(1)) while keeping cavity sizes bounded in expectation."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(points))
+    chunks = []
+    start, size = 0, 8
+    while start < len(points):
+        block = perm[start:start + size]
+        # Snake order within the round: x-buckets, alternating y sweep —
+        # consecutive inserts are spatial neighbours, so the walk from the
+        # previous insertion is O(1) expected.
+        m = len(block)
+        nb = max(1, int(math.sqrt(m)))
+        xs = points[block, 0]
+        ranks = np.argsort(np.argsort(xs, kind="stable"), kind="stable")
+        bucket = np.minimum(ranks * nb // max(m, 1), nb - 1)
+        ys = points[block, 1]
+        y_key = np.where(bucket % 2 == 0, ys, -ys)
+        order = np.lexsort((y_key, bucket))
+        chunks.append(block[order])
+        start += size
+        size *= 2
+    return np.concatenate(chunks) if chunks else np.arange(0)
+
+
+def _triangulate_with_map(points: np.ndarray, *, assume_sorted: bool
+                          ) -> Tuple[Triangulation, Dict[int, int]]:
+    tri = Triangulation()
+    if assume_sorted:
+        order = np.arange(len(points))
+    else:
+        order = _brio_order(points)
+    inserted: Dict[int, int] = {}
+    for i in order:
+        inserted[int(i)] = tri.insert_point(points[i, 0], points[i, 1])
+    return tri, inserted
+
+
+def delaunay_mesh(points: np.ndarray, *, assume_sorted: bool = False) -> TriMesh:
+    """Delaunay triangulation as a :class:`TriMesh` indexed like ``points``.
+
+    Duplicate input points map to the first occurrence, so triangle indices
+    always refer to the caller's array.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    tri, inserted = _triangulate_with_map(points, assume_sorted=assume_sorted)
+    # kernel vertex id -> smallest input index that produced it
+    inv: Dict[int, int] = {}
+    for i, k in inserted.items():
+        if k not in inv or i < inv[k]:
+            inv[k] = i
+    tris = [
+        (inv[a], inv[b], inv[c])
+        for t in tri.live_triangles()
+        if not tri.is_ghost(t)
+        for (a, b, c) in (tri.tri_v[t],)
+    ]
+    tarr = (np.asarray(tris, dtype=np.int32)
+            if tris else np.empty((0, 3), dtype=np.int32))
+    return TriMesh(points, tarr)

@@ -1,0 +1,330 @@
+"""Finalised triangle mesh: contiguous arrays, adjacency, quality metrics.
+
+:class:`TriMesh` is the immutable product of the triangulation kernel and
+the currency of everything downstream: refinement statistics, the FEM
+solver, mesh I/O, and the experiment harnesses.  Vertices and triangles
+live in contiguous NumPy arrays (structure-of-arrays, per the paper's
+Section III implementation notes) and all per-triangle quantities are
+computed vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["TriMesh", "merge_meshes"]
+
+
+@dataclass
+class TriMesh:
+    """Triangle mesh with optional constrained-edge markers.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 2)`` float64 vertex coordinates.
+    triangles:
+        ``(m, 3)`` int32 vertex indices, counter-clockwise.
+    segments:
+        ``(s, 2)`` int32 constrained/boundary edges (may be empty).
+    """
+
+    points: np.ndarray
+    triangles: np.ndarray
+    segments: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int32)
+    )
+
+    def __post_init__(self) -> None:
+        self.points = np.ascontiguousarray(self.points, dtype=np.float64)
+        self.triangles = np.ascontiguousarray(self.triangles, dtype=np.int32)
+        self.segments = np.ascontiguousarray(self.segments, dtype=np.int32)
+        if self.points.ndim != 2 or self.points.shape[1] != 2:
+            raise ValueError("points must be (n, 2)")
+        if self.triangles.size and (
+            self.triangles.ndim != 2 or self.triangles.shape[1] != 3
+        ):
+            raise ValueError("triangles must be (m, 3)")
+        if self.triangles.size and self.triangles.max() >= len(self.points):
+            raise ValueError("triangle index out of range")
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_triangles(self) -> int:
+        return len(self.triangles)
+
+    def __repr__(self) -> str:
+        return f"TriMesh(n_points={self.n_points}, n_triangles={self.n_triangles})"
+
+    # ------------------------------------------------------------------
+    # Per-triangle geometry (vectorised)
+    # ------------------------------------------------------------------
+    def _corners(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        p = self.points
+        t = self.triangles
+        return p[t[:, 0]], p[t[:, 1]], p[t[:, 2]]
+
+    def areas(self) -> np.ndarray:
+        """Signed triangle areas (positive == CCW)."""
+        a, b, c = self._corners()
+        return 0.5 * (
+            (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1])
+            - (b[:, 1] - a[:, 1]) * (c[:, 0] - a[:, 0])
+        )
+
+    def centroids(self) -> np.ndarray:
+        a, b, c = self._corners()
+        return (a + b + c) / 3.0
+
+    def edge_lengths(self) -> np.ndarray:
+        """``(m, 3)`` edge lengths; column k is the edge opposite vertex k."""
+        a, b, c = self._corners()
+        la = np.linalg.norm(c - b, axis=1)
+        lb = np.linalg.norm(a - c, axis=1)
+        lc = np.linalg.norm(b - a, axis=1)
+        return np.column_stack([la, lb, lc])
+
+    def circumradii(self) -> np.ndarray:
+        """Circumradius per triangle (R = abc / 4A); inf where degenerate."""
+        ls = self.edge_lengths()
+        area = np.abs(self.areas())
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r = ls[:, 0] * ls[:, 1] * ls[:, 2] / (4.0 * area)
+        r[area == 0.0] = np.inf
+        return r
+
+    def radius_edge_ratios(self) -> np.ndarray:
+        """Circumradius-to-shortest-edge ratio (Ruppert's quality measure).
+
+        A triangulation refined to ratio <= sqrt(2) has minimum angle
+        >= arcsin(1/(2*sqrt(2))) ~ 20.7 degrees — the bound the paper's
+        isotropic comparison mesh satisfies.
+        """
+        ls = self.edge_lengths()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self.circumradii() / ls.min(axis=1)
+
+    def angles(self) -> np.ndarray:
+        """``(m, 3)`` interior angles in radians (column k at vertex k)."""
+        ls = self.edge_lengths()
+        la, lb, lc = ls[:, 0], ls[:, 1], ls[:, 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos_a = (lb**2 + lc**2 - la**2) / (2 * lb * lc)
+            cos_b = (la**2 + lc**2 - lb**2) / (2 * la * lc)
+            cos_c = (la**2 + lb**2 - lc**2) / (2 * la * lb)
+        cos_all = np.clip(np.column_stack([cos_a, cos_b, cos_c]), -1.0, 1.0)
+        return np.arccos(cos_all)
+
+    def min_angle(self) -> float:
+        """Smallest interior angle in the mesh, radians."""
+        if self.n_triangles == 0:
+            return float("nan")
+        return float(self.angles().min())
+
+    def aspect_ratios(self) -> np.ndarray:
+        """Longest-edge to shortest-altitude ratio per triangle.
+
+        Anisotropic boundary-layer triangles legitimately reach ratios of
+        thousands; this is the quantity the paper's 10,000:1 claim refers
+        to.
+        """
+        ls = self.edge_lengths()
+        lmax = ls.max(axis=1)
+        area = np.abs(self.areas())
+        with np.errstate(divide="ignore", invalid="ignore"):
+            h_min = 2.0 * area / lmax
+            return lmax / h_min
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def edges(self) -> np.ndarray:
+        """Unique undirected edges as an ``(e, 2)`` sorted-index array."""
+        t = self.triangles
+        e = np.vstack([t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]])
+        e.sort(axis=1)
+        return np.unique(e, axis=0)
+
+    def boundary_edges(self) -> np.ndarray:
+        """Edges used by exactly one triangle."""
+        t = self.triangles
+        e = np.vstack([t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]])
+        e.sort(axis=1)
+        uniq, counts = np.unique(e, axis=0, return_counts=True)
+        return uniq[counts == 1]
+
+    def neighbors(self) -> np.ndarray:
+        """``(m, 3)`` adjacent triangle per edge (opposite vertex k); -1 none."""
+        t = self.triangles
+        m = len(t)
+        edge_map: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        nbr = np.full((m, 3), -1, dtype=np.int32)
+        for ti in range(m):
+            for k in range(3):
+                u, v = int(t[ti, (k + 1) % 3]), int(t[ti, (k + 2) % 3])
+                key = (u, v) if u < v else (v, u)
+                if key in edge_map:
+                    tj, kj = edge_map.pop(key)
+                    nbr[ti, k] = tj
+                    nbr[tj, kj] = ti
+                else:
+                    edge_map[key] = (ti, k)
+        return nbr
+
+    def vertex_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.n_points, dtype=np.int64)
+        np.add.at(deg, self.triangles.ravel(), 1)
+        return deg
+
+    def is_conforming(self) -> bool:
+        """Every internal edge shared by exactly 2 triangles, none by more."""
+        t = self.triangles
+        if len(t) == 0:
+            return True
+        e = np.vstack([t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]])
+        e.sort(axis=1)
+        _, counts = np.unique(e, axis=0, return_counts=True)
+        return bool(np.all(counts <= 2))
+
+    def contains_segments(self, segments: np.ndarray) -> bool:
+        """True if every given vertex-index segment appears as a mesh edge."""
+        if len(segments) == 0:
+            return True
+        have = {tuple(e) for e in self.edges().tolist()}
+        for u, v in np.asarray(segments, dtype=np.int64):
+            a, b = (int(u), int(v)) if u < v else (int(v), int(u))
+            if (a, b) not in have:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Delaunay verification
+    # ------------------------------------------------------------------
+    def delaunay_violations(self, *, tol: float = 0.0,
+                            respect_segments: bool = True) -> int:
+        """Count internal edges violating the local Delaunay criterion.
+
+        An edge is locally Delaunay when the opposite vertex of each
+        adjacent triangle is not inside the other's circumcircle.  For a
+        *constrained* Delaunay triangulation, constrained edges are exempt
+        (``respect_segments``).  ``tol`` (relative) absorbs floating error
+        for near-cocircular configurations when comparing against other
+        implementations.
+        """
+        from ..geometry.predicates import incircle
+
+        t = self.triangles
+        nbr = self.neighbors()
+        constrained: Set[Tuple[int, int]] = set()
+        if respect_segments and len(self.segments):
+            for u, v in self.segments.tolist():
+                constrained.add((min(u, v), max(u, v)))
+        p = self.points
+        bad = 0
+        for ti in range(len(t)):
+            for k in range(3):
+                tj = nbr[ti, k]
+                if tj < 0 or tj < ti:
+                    continue
+                u, v = int(t[ti, (k + 1) % 3]), int(t[ti, (k + 2) % 3])
+                if (min(u, v), max(u, v)) in constrained:
+                    continue
+                a, b, c = (p[t[ti, 0]], p[t[ti, 1]], p[t[ti, 2]])
+                # opposite vertex in tj
+                opp = [w for w in t[tj] if w != u and w != v]
+                if len(opp) != 1:
+                    continue
+                d = p[opp[0]]
+                if tol == 0.0:
+                    if incircle(a, b, c, d) > 0:
+                        bad += 1
+                else:
+                    # Tolerant check via circumcircle distance.
+                    from ..geometry.primitives import circumcenter, distance
+
+                    try:
+                        cc = circumcenter(a, b, c)
+                    except ValueError:
+                        continue
+                    r = distance(cc, a)
+                    if distance(cc, d) < r * (1.0 - tol):
+                        bad += 1
+        return bad
+
+    def is_delaunay(self, *, tol: float = 0.0,
+                    respect_segments: bool = True) -> bool:
+        return self.delaunay_violations(
+            tol=tol, respect_segments=respect_segments) == 0
+
+    # ------------------------------------------------------------------
+    # Statistics bundle (for reports / EXPERIMENTS.md)
+    # ------------------------------------------------------------------
+    def quality_summary(self) -> Dict[str, float]:
+        if self.n_triangles == 0:
+            return {"n_points": self.n_points, "n_triangles": 0}
+        ang = np.degrees(self.angles())
+        return {
+            "n_points": self.n_points,
+            "n_triangles": self.n_triangles,
+            "min_angle_deg": float(ang.min()),
+            "max_angle_deg": float(ang.max()),
+            "mean_min_angle_deg": float(ang.min(axis=1).mean()),
+            "max_aspect_ratio": float(self.aspect_ratios().max()),
+            "max_radius_edge": float(self.radius_edge_ratios().max()),
+            "total_area": float(np.abs(self.areas()).sum()),
+        }
+
+
+def merge_meshes(meshes: List[TriMesh], *, tol: float = 1e-12) -> TriMesh:
+    """Merge subdomain meshes, welding vertices that coincide within ``tol``.
+
+    Subdomains produced by the decomposition/decoupling share only border
+    vertices, which are bit-identical by construction; welding uses a
+    quantised coordinate key.  Duplicate triangles (none expected) are
+    dropped.
+    """
+    if not meshes:
+        raise ValueError("no meshes to merge")
+    key_of: Dict[Tuple[int, int], int] = {}
+    pts: List[Tuple[float, float]] = []
+    tris: List[Tuple[int, int, int]] = []
+    segs: List[Tuple[int, int]] = []
+    inv = 1.0 / tol
+
+    def global_id(x: float, y: float) -> int:
+        key = (int(round(x * inv)), int(round(y * inv)))
+        gid = key_of.get(key)
+        if gid is None:
+            gid = len(pts)
+            key_of[key] = gid
+            pts.append((x, y))
+        return gid
+
+    seen_tris: Set[Tuple[int, int, int]] = set()
+    for m in meshes:
+        local = [global_id(float(x), float(y)) for x, y in m.points]
+        for a, b, c in m.triangles:
+            tri = (local[a], local[b], local[c])
+            canon = tuple(sorted(tri))
+            if canon in seen_tris:
+                continue
+            seen_tris.add(canon)
+            tris.append(tri)
+        for u, v in m.segments:
+            segs.append((local[u], local[v]))
+
+    return TriMesh(
+        np.asarray(pts, dtype=np.float64),
+        np.asarray(tris, dtype=np.int32) if tris else np.empty((0, 3), np.int32),
+        np.asarray(sorted({(min(u, v), max(u, v)) for u, v in segs}),
+                   dtype=np.int32) if segs else np.empty((0, 2), np.int32),
+    )

@@ -1,0 +1,183 @@
+"""Mesh smoothing and validation utilities.
+
+Post-processing helpers a downstream CFD user expects from a mesh
+generator:
+
+* :func:`laplacian_smooth` — constrained Laplacian smoothing of interior
+  vertices (boundary and constrained-segment vertices stay put), with an
+  orientation guard so no triangle ever inverts;
+* :func:`validate_mesh` — a one-call structural report (conformity,
+  orientation, Delaunay violations, boundary/segment preservation, area
+  accounting) used by the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .mesh import TriMesh
+
+__all__ = ["laplacian_smooth", "validate_mesh", "ValidationReport"]
+
+
+def laplacian_smooth(
+    mesh: TriMesh,
+    *,
+    iterations: int = 5,
+    relaxation: float = 0.6,
+    protect: Optional[np.ndarray] = None,
+) -> TriMesh:
+    """Constrained Laplacian smoothing with inversion protection.
+
+    Each free vertex moves toward the centroid of its neighbours by
+    ``relaxation`` per sweep; a move that would flip the sign of any
+    incident triangle's area is rejected (halved once, then skipped).
+    Boundary vertices, endpoints of constrained segments, and any indices
+    in ``protect`` are fixed — smoothing must never distort the carefully
+    graded decoupling borders or the anisotropic boundary layers, so the
+    caller passes those regions in ``protect``.
+    """
+    if not 0 < relaxation <= 1.0:
+        raise ValueError("relaxation must be in (0, 1]")
+    pts = mesh.points.copy()
+    tris = mesh.triangles
+
+    fixed = np.zeros(len(pts), dtype=bool)
+    fixed[np.unique(mesh.boundary_edges().ravel())] = True
+    if len(mesh.segments):
+        fixed[np.unique(mesh.segments.ravel())] = True
+    if protect is not None:
+        fixed[np.asarray(protect, dtype=np.int64)] = True
+
+    # Vertex -> neighbour adjacency and vertex -> incident triangles.
+    nbrs: List[Set[int]] = [set() for _ in range(len(pts))]
+    incident: List[List[int]] = [[] for _ in range(len(pts))]
+    for t, (a, b, c) in enumerate(tris):
+        for u, v in ((a, b), (b, c), (c, a)):
+            nbrs[u].add(int(v))
+            nbrs[v].add(int(u))
+        for v in (a, b, c):
+            incident[v].append(t)
+
+    def signed_area(t: int) -> float:
+        a, b, c = tris[t]
+        return (
+            (pts[b, 0] - pts[a, 0]) * (pts[c, 1] - pts[a, 1])
+            - (pts[b, 1] - pts[a, 1]) * (pts[c, 0] - pts[a, 0])
+        )
+
+    for _ in range(iterations):
+        for v in range(len(pts)):
+            if fixed[v] or not nbrs[v]:
+                continue
+            target = pts[list(nbrs[v])].mean(axis=0)
+            old = pts[v].copy()
+            step = relaxation
+            for _attempt in range(2):
+                pts[v] = old + step * (target - old)
+                if all(signed_area(t) > 0 for t in incident[v]):
+                    break
+                step *= 0.5
+            else:
+                pts[v] = old
+    return TriMesh(pts, tris.copy(), mesh.segments.copy())
+
+
+@dataclass
+class ValidationReport:
+    n_points: int
+    n_triangles: int
+    conforming: bool
+    inverted_triangles: int
+    zero_area_triangles: int
+    delaunay_violations: int
+    segments_present: bool
+    duplicate_points: int
+    total_area: float
+    boundary_loops: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.conforming
+            and self.inverted_triangles == 0
+            and self.segments_present
+            and self.duplicate_points == 0
+        )
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "INVALID"
+        return (
+            f"[{status}] {self.n_triangles} tris / {self.n_points} pts; "
+            f"conforming={self.conforming}, inverted={self.inverted_triangles}, "
+            f"zero-area={self.zero_area_triangles}, "
+            f"delaunay-violations={self.delaunay_violations}, "
+            f"segments-present={self.segments_present}, "
+            f"dup-points={self.duplicate_points}, "
+            f"boundary-loops={self.boundary_loops}, "
+            f"area={self.total_area:.6g}"
+        )
+
+
+def validate_mesh(mesh: TriMesh, *, check_delaunay: bool = True
+                  ) -> ValidationReport:
+    """Structural validation report for a finished mesh."""
+    areas = mesh.areas() if mesh.n_triangles else np.empty(0)
+    # Orientation must be decided EXACTLY: the float area of a robustly
+    # CCW sliver (boundary-layer aspect ratios, cusp-guarded corners) can
+    # round to zero or slightly negative.
+    from ..geometry.predicates import orient2d
+
+    inverted = 0
+    zero = 0
+    suspicious = np.flatnonzero(areas <= 0)
+    for t in suspicious:
+        a, b, c = mesh.triangles[t]
+        o = orient2d(mesh.points[a], mesh.points[b], mesh.points[c])
+        if o < 0:
+            inverted += 1
+        elif o == 0:
+            zero += 1
+    uniq = np.unique(mesh.points, axis=0)
+    dups = mesh.n_points - len(uniq)
+    violations = (
+        mesh.delaunay_violations(respect_segments=True)
+        if (check_delaunay and mesh.n_triangles) else 0
+    )
+
+    # Count closed boundary loops by walking boundary edges.
+    be = mesh.boundary_edges()
+    loops = 0
+    if len(be):
+        succ: Dict[int, List[int]] = {}
+        for u, v in be.tolist():
+            succ.setdefault(u, []).append(v)
+            succ.setdefault(v, []).append(u)
+        seen: Set[int] = set()
+        for start in succ:
+            if start in seen:
+                continue
+            loops += 1
+            stack = [start]
+            while stack:
+                n = stack.pop()
+                if n in seen:
+                    continue
+                seen.add(n)
+                stack.extend(succ[n])
+
+    return ValidationReport(
+        n_points=mesh.n_points,
+        n_triangles=mesh.n_triangles,
+        conforming=mesh.is_conforming(),
+        inverted_triangles=inverted,
+        zero_area_triangles=zero,
+        delaunay_violations=violations,
+        segments_present=mesh.contains_segments(mesh.segments),
+        duplicate_points=dups,
+        total_area=float(np.abs(areas).sum()) if len(areas) else 0.0,
+        boundary_loops=loops,
+    )

@@ -1,0 +1,120 @@
+"""Axis-aligned bounding boxes and segment extent boxes.
+
+The boundary-layer intersection machinery (paper Section II.B) prunes
+candidate rays hierarchically: first against the AABB of a whole airfoil
+element's boundary layer, then through the alternating digital tree over
+the 4D projections of per-segment extent boxes.  This module provides the
+box type shared by those stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["AABB", "segment_extent_box", "boxes_from_segments"]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """Closed axis-aligned box ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"inverted AABB: {self}")
+
+    @classmethod
+    def of_points(cls, pts: Iterable[Tuple[float, float]]) -> "AABB":
+        arr = np.asarray(list(pts) if not isinstance(pts, np.ndarray) else pts,
+                         dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("AABB of empty point set")
+        return cls(
+            float(arr[:, 0].min()), float(arr[:, 1].min()),
+            float(arr[:, 0].max()), float(arr[:, 1].max()),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (0.5 * (self.xmin + self.xmax), 0.5 * (self.ymin + self.ymax))
+
+    def contains_point(self, p) -> bool:
+        return self.xmin <= p[0] <= self.xmax and self.ymin <= p[1] <= self.ymax
+
+    def contains_box(self, other: "AABB") -> bool:
+        return (
+            self.xmin <= other.xmin and other.xmax <= self.xmax
+            and self.ymin <= other.ymin and other.ymax <= self.ymax
+        )
+
+    def overlaps(self, other: "AABB") -> bool:
+        """Closed-interval overlap test (boxes touching at an edge overlap)."""
+        return not (
+            other.xmin > self.xmax or other.xmax < self.xmin
+            or other.ymin > self.ymax or other.ymax < self.ymin
+        )
+
+    def expanded(self, margin: float) -> "AABB":
+        """Box grown by ``margin`` on every side."""
+        return AABB(
+            self.xmin - margin, self.ymin - margin,
+            self.xmax + margin, self.ymax + margin,
+        )
+
+    def union(self, other: "AABB") -> "AABB":
+        return AABB(
+            min(self.xmin, other.xmin), min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax), max(self.ymax, other.ymax),
+        )
+
+    def as_4d_point(self) -> Tuple[float, float, float, float]:
+        """Project this extent box to the 4D point ``(xmin, ymin, xmax, ymax)``.
+
+        This is the projection used by the alternating digital tree (paper
+        Section II.B, after Bonet & Peraire): a 2D box becomes a point in 4D,
+        and box-overlap queries become 4D axis-aligned range queries.
+        """
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    def corners(self) -> Iterator[Tuple[float, float]]:
+        yield (self.xmin, self.ymin)
+        yield (self.xmax, self.ymin)
+        yield (self.xmax, self.ymax)
+        yield (self.xmin, self.ymax)
+
+
+def segment_extent_box(a, b) -> AABB:
+    """Extent box of the segment ``ab``."""
+    return AABB(
+        min(a[0], b[0]), min(a[1], b[1]),
+        max(a[0], b[0]), max(a[1], b[1]),
+    )
+
+
+def boxes_from_segments(segments: np.ndarray) -> np.ndarray:
+    """Vectorised extent boxes for an ``(n, 2, 2)`` array of segments.
+
+    Returns an ``(n, 4)`` array of ``(xmin, ymin, xmax, ymax)`` rows — the
+    4D points fed to the alternating digital tree in bulk.
+    """
+    segments = np.asarray(segments, dtype=np.float64)
+    if segments.ndim != 3 or segments.shape[1:] != (2, 2):
+        raise ValueError("expected segments of shape (n, 2, 2)")
+    lo = segments.min(axis=1)
+    hi = segments.max(axis=1)
+    return np.concatenate([lo, hi], axis=1)

@@ -1,0 +1,169 @@
+"""Cohen–Sutherland line clipping against axis-aligned boxes.
+
+The paper uses "a modified version of the Cohen–Sutherland algorithm for
+polygon clipping" as the first, cheapest pruning stage for multi-element
+intersection checks: a candidate ray is kept only if it intersects the
+axis-aligned bounding box of another element's boundary layer (Section
+II.B).  We implement the classic 4-bit outcode scheme:
+
+* :func:`outcode` — classify a point against the nine regions around a box;
+* :func:`segment_intersects_box` — the *modified* use: a pure accept/reject
+  test that never computes the clipped coordinates unless forced to;
+* :func:`clip_segment` — the full clipper, returning the portion of a
+  segment inside the box (used by tests and by the ray truncation path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .aabb import AABB
+
+__all__ = [
+    "INSIDE", "LEFT", "RIGHT", "BOTTOM", "TOP",
+    "outcode", "segment_intersects_box", "clip_segment",
+    "segments_intersect_box_batch",
+]
+
+INSIDE = 0b0000
+LEFT = 0b0001
+RIGHT = 0b0010
+BOTTOM = 0b0100
+TOP = 0b1000
+
+
+def outcode(p, box: AABB) -> int:
+    """Cohen–Sutherland 4-bit region code of point ``p`` w.r.t. ``box``."""
+    code = INSIDE
+    if p[0] < box.xmin:
+        code |= LEFT
+    elif p[0] > box.xmax:
+        code |= RIGHT
+    if p[1] < box.ymin:
+        code |= BOTTOM
+    elif p[1] > box.ymax:
+        code |= TOP
+    return code
+
+
+def segment_intersects_box(a, b, box: AABB) -> bool:
+    """True if segment ``ab`` has any point inside (or on) ``box``.
+
+    Implements the iterative Cohen–Sutherland accept/reject loop.  Trivial
+    accept: either endpoint inside.  Trivial reject: both endpoints share an
+    outside half-plane.  Otherwise the segment is clipped against one box
+    edge at a time until one of the trivial cases fires.
+    """
+    x0, y0 = float(a[0]), float(a[1])
+    x1, y1 = float(b[0]), float(b[1])
+    code0 = outcode((x0, y0), box)
+    code1 = outcode((x1, y1), box)
+
+    while True:
+        if code0 == INSIDE or code1 == INSIDE:
+            return True
+        if code0 & code1:
+            return False
+        # Both endpoints outside, in different regions: clip the endpoint
+        # with the larger code against the corresponding box edge.
+        code_out = max(code0, code1)
+        if code_out & TOP:
+            x = x0 + (x1 - x0) * (box.ymax - y0) / (y1 - y0)
+            y = box.ymax
+        elif code_out & BOTTOM:
+            x = x0 + (x1 - x0) * (box.ymin - y0) / (y1 - y0)
+            y = box.ymin
+        elif code_out & RIGHT:
+            y = y0 + (y1 - y0) * (box.xmax - x0) / (x1 - x0)
+            x = box.xmax
+        else:  # LEFT
+            y = y0 + (y1 - y0) * (box.xmin - x0) / (x1 - x0)
+            x = box.xmin
+
+        if code_out == code0:
+            x0, y0 = x, y
+            code0 = outcode((x0, y0), box)
+        else:
+            x1, y1 = x, y
+            code1 = outcode((x1, y1), box)
+
+
+def clip_segment(
+    a, b, box: AABB
+) -> Optional[Tuple[Tuple[float, float], Tuple[float, float]]]:
+    """Clip segment ``ab`` to ``box``; returns the inside portion or ``None``."""
+    x0, y0 = float(a[0]), float(a[1])
+    x1, y1 = float(b[0]), float(b[1])
+    code0 = outcode((x0, y0), box)
+    code1 = outcode((x1, y1), box)
+
+    while True:
+        if code0 == INSIDE and code1 == INSIDE:
+            return ((x0, y0), (x1, y1))
+        if code0 & code1:
+            return None
+        code_out = code0 if code0 != INSIDE else code1
+        if code_out & TOP:
+            x = x0 + (x1 - x0) * (box.ymax - y0) / (y1 - y0)
+            y = box.ymax
+        elif code_out & BOTTOM:
+            x = x0 + (x1 - x0) * (box.ymin - y0) / (y1 - y0)
+            y = box.ymin
+        elif code_out & RIGHT:
+            y = y0 + (y1 - y0) * (box.xmax - x0) / (x1 - x0)
+            x = box.xmax
+        else:
+            y = y0 + (y1 - y0) * (box.xmin - x0) / (x1 - x0)
+            x = box.xmin
+
+        if code_out == code0:
+            x0, y0 = x, y
+            code0 = outcode((x0, y0), box)
+        else:
+            x1, y1 = x, y
+            code1 = outcode((x1, y1), box)
+
+
+def segments_intersect_box_batch(segments: np.ndarray, box: AABB) -> np.ndarray:
+    """Vectorised box-overlap prefilter for an ``(n, 2, 2)`` segment array.
+
+    Returns a boolean mask.  This is a *conservative* vectorised version
+    used to cut the candidate list before the per-segment exact
+    Cohen–Sutherland loop: it combines the trivial-reject outcode test with
+    a separating-line test against the two box diagonals, which together
+    are exact for segments vs. axis-aligned boxes (a segment misses a box
+    iff it is trivially rejected by outcodes or the box lies strictly on
+    one side of the segment's supporting line).
+    """
+    segments = np.asarray(segments, dtype=np.float64)
+    p = segments[:, 0, :]
+    q = segments[:, 1, :]
+
+    def codes(pts: np.ndarray) -> np.ndarray:
+        c = np.zeros(len(pts), dtype=np.int8)
+        c |= np.where(pts[:, 0] < box.xmin, LEFT, 0).astype(np.int8)
+        c |= np.where(pts[:, 0] > box.xmax, RIGHT, 0).astype(np.int8)
+        c |= np.where(pts[:, 1] < box.ymin, BOTTOM, 0).astype(np.int8)
+        c |= np.where(pts[:, 1] > box.ymax, TOP, 0).astype(np.int8)
+        return c
+
+    c0 = codes(p)
+    c1 = codes(q)
+    trivially_inside = (c0 == 0) | (c1 == 0)
+    trivially_rejected = (c0 & c1) != 0
+
+    # Remaining segments: both endpoints outside, no shared half-plane.
+    # The segment hits the box iff the four box corners do not all lie
+    # strictly on the same side of the segment's supporting line.
+    d = q - p
+    corners = np.array(list(box.corners()), dtype=np.float64)  # (4, 2)
+    # cross[i, k] = d_i x (corner_k - p_i)
+    rel = corners[None, :, :] - p[:, None, :]
+    cross = d[:, None, 0] * rel[:, :, 1] - d[:, None, 1] * rel[:, :, 0]
+    all_pos = np.all(cross > 0, axis=1)
+    all_neg = np.all(cross < 0, axis=1)
+    line_separates = all_pos | all_neg
+
+    return trivially_inside | (~trivially_rejected & ~line_separates)

@@ -1,0 +1,33 @@
+"""Parallel runtime substrate: in-process MPI subset, RMA window,
+work-stealing load balancer, and the discrete-event cluster simulator."""
+
+from .comm import ANY_SOURCE, ANY_TAG, CommError, Message, ThreadComm, run_spmd
+from .loadbalance import DistributedWorker, WorkItem, WorkQueue
+from .rma import Window
+from .simulator import (
+    NetworkModel,
+    SimConfig,
+    SimResult,
+    SimTask,
+    simulate,
+    strong_scaling,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommError",
+    "DistributedWorker",
+    "Message",
+    "NetworkModel",
+    "SimConfig",
+    "SimResult",
+    "SimTask",
+    "ThreadComm",
+    "Window",
+    "WorkItem",
+    "WorkQueue",
+    "run_spmd",
+    "simulate",
+    "strong_scaling",
+]

@@ -1,0 +1,272 @@
+"""In-process message-passing runtime (the MPI-subset substrate).
+
+The paper's implementation targets MPICH 3.0 + POSIX threads.  This
+module provides the exact subset the algorithms use — point-to-point
+send/recv with tags, barrier, broadcast, gather, scatter, allreduce —
+over an in-process *threads* backend, so every rank runs the same SPMD
+function concurrently and all communication paths are exercised for real.
+(True multi-node speedup is out of scope for a pure-Python reproduction —
+see DESIGN.md; wall-clock scaling is studied with the discrete-event
+cluster simulator in :mod:`repro.runtime.simulator`.)
+
+Communication of NumPy arrays follows the mpi4py buffer discipline: the
+payload object is handed over by reference but the convention is that the
+sender never mutates a sent array (the gather of boundary-layer
+coordinates sends plain float arrays, matching the paper's
+"only the coordinates need to be communicated" optimisation).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "ThreadComm", "run_spmd",
+           "CommError"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class CommError(RuntimeError):
+    pass
+
+
+@dataclass
+class Message:
+    source: int
+    tag: int
+    payload: Any
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimated wire size of a message payload.
+
+    NumPy arrays count their buffer size (the paper's fast path: plain
+    coordinate arrays); everything else is sized by its pickle — the same
+    accounting mpi4py's lowercase API implies.
+    """
+    import pickle
+
+    import numpy as _np
+
+    if isinstance(obj, _np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (list, tuple)) and obj and all(
+        isinstance(o, _np.ndarray) for o in obj
+    ):
+        return int(sum(o.nbytes for o in obj))
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable payloads still need a size
+        return 0
+
+
+class _SharedState:
+    """State shared by all ranks of one communicator group."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.queues: List[queue.Queue] = [queue.Queue() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.bcast_box: Dict[int, Any] = {}
+        self.gather_box: Dict[int, Dict[int, Any]] = {}
+        self.reduce_box: Dict[int, Dict[int, Any]] = {}
+        self.lock = threading.Lock()
+        self._collective_seq = [0] * size
+        # Communication-volume accounting (point-to-point + collectives).
+        self.bytes_sent = [0] * size
+        self.msgs_sent = [0] * size
+
+
+class ThreadComm:
+    """One rank's endpoint of a threads-backed communicator.
+
+    Mirrors the mpi4py lowercase (pickle-object) API surface the
+    algorithms need.  Collectives are implemented with a shared barrier +
+    exchange boxes, so they synchronise exactly like their MPI
+    counterparts.
+    """
+
+    def __init__(self, shared: _SharedState, rank: int) -> None:
+        self._shared = shared
+        self.rank = rank
+        self.size = shared.size
+        # Buffer for out-of-order receives (tag/source matching).
+        self._stash: List[Message] = []
+
+    # ------------------------------------------------------------------
+    # Point to point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise CommError(f"bad destination rank {dest}")
+        self._shared.bytes_sent[self.rank] += payload_nbytes(obj)
+        self._shared.msgs_sent[self.rank] += 1
+        self._shared.queues[dest].put(Message(self.rank, tag, obj))
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._shared.bytes_sent[self.rank]
+
+    def total_bytes_sent(self) -> int:
+        return sum(self._shared.bytes_sent)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: Optional[float] = None) -> Message:
+        """Blocking receive with source/tag matching."""
+        # Check the stash first.
+        for i, m in enumerate(self._stash):
+            if self._matches(m, source, tag):
+                return self._stash.pop(i)
+        while True:
+            try:
+                m = self._shared.queues[self.rank].get(timeout=timeout)
+            except queue.Empty:
+                raise CommError("recv timed out") from None
+            if self._matches(m, source, tag):
+                return m
+            self._stash.append(m)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking probe: is a matching message available?"""
+        for m in self._stash:
+            if self._matches(m, source, tag):
+                return True
+        # Drain queue into the stash without blocking.
+        while True:
+            try:
+                m = self._shared.queues[self.rank].get_nowait()
+            except queue.Empty:
+                break
+            self._stash.append(m)
+        return any(self._matches(m, source, tag) for m in self._stash)
+
+    @staticmethod
+    def _matches(m: Message, source: int, tag: int) -> bool:
+        return (source in (ANY_SOURCE, m.source)) and (tag in (ANY_TAG, m.tag))
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        self._shared.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        sh = self._shared
+        if self.rank == root:
+            with sh.lock:
+                sh.bcast_box[root] = obj
+        sh.barrier.wait()
+        out = sh.bcast_box[root]
+        sh.barrier.wait()
+        if self.rank == root:
+            with sh.lock:
+                sh.bcast_box.pop(root, None)
+        # Third barrier: cleanup must complete before any rank can start
+        # the next collective (otherwise the pop races with its write).
+        sh.barrier.wait()
+        return out
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        sh = self._shared
+        if self.rank != root:
+            sh.bytes_sent[self.rank] += payload_nbytes(obj)
+            sh.msgs_sent[self.rank] += 1
+        with sh.lock:
+            sh.gather_box.setdefault(root, {})[self.rank] = obj
+        sh.barrier.wait()
+        out = None
+        if self.rank == root:
+            box = sh.gather_box[root]
+            out = [box[r] for r in range(self.size)]
+        sh.barrier.wait()
+        if self.rank == root:
+            with sh.lock:
+                sh.gather_box.pop(root, None)
+        sh.barrier.wait()
+        return out
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        sh = self._shared
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommError("scatter needs one object per rank")
+            sh.bytes_sent[root] += sum(
+                payload_nbytes(o) for i, o in enumerate(objs) if i != root)
+            sh.msgs_sent[root] += self.size - 1
+            with sh.lock:
+                sh.bcast_box[("scatter", root)] = list(objs)
+        sh.barrier.wait()
+        out = sh.bcast_box[("scatter", root)][self.rank]
+        sh.barrier.wait()
+        if self.rank == root:
+            with sh.lock:
+                sh.bcast_box.pop(("scatter", root), None)
+        sh.barrier.wait()
+        return out
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        import functools
+
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        sh = self._shared
+        with sh.lock:
+            sh.reduce_box.setdefault(0, {})[self.rank] = value
+        sh.barrier.wait()
+        vals = [sh.reduce_box[0][r] for r in range(self.size)]
+        out = functools.reduce(op, vals)
+        sh.barrier.wait()
+        if self.rank == 0:
+            with sh.lock:
+                sh.reduce_box.pop(0, None)
+        sh.barrier.wait()
+        return out
+
+
+def run_spmd(n_ranks: int, fn: Callable[[ThreadComm], Any],
+             *, timeout: float = 600.0) -> List[Any]:
+    """Run ``fn(comm)`` on ``n_ranks`` concurrent threads (SPMD).
+
+    Returns the per-rank return values; re-raises the first rank
+    exception (after joining all threads) so failures surface in tests.
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    shared = _SharedState(n_ranks)
+    results: List[Any] = [None] * n_ranks
+    errors: List[Optional[BaseException]] = [None] * n_ranks
+
+    def runner(rank: int) -> None:
+        comm = ThreadComm(shared, rank)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors[rank] = exc
+            # Break barriers so other ranks don't deadlock.
+            shared.barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+               for r in range(n_ranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise CommError("SPMD run timed out (deadlock?)")
+    # Prefer a real failure over the BrokenBarrierError fallout it causes
+    # on the other ranks.
+    import threading as _threading
+
+    primary = [e for e in errors
+               if e is not None
+               and not isinstance(e, _threading.BrokenBarrierError)]
+    if primary:
+        raise primary[0]
+    for e in errors:
+        if e is not None:
+            raise e
+    return results

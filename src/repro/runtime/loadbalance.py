@@ -1,0 +1,226 @@
+"""Cost-aware work queues and RMA-window work stealing (Section II.F).
+
+Each rank keeps its subdomains in a priority queue ordered by *estimated
+triangle count* — "the subdomain at the front of the queue is estimated
+to need the most time to mesh".  Meshing the largest subdomains first
+saves the small ones for the aggressive load balancing at the end of the
+run.  A global RMA window on the root holds every rank's current load
+estimate; a rank whose load falls below a threshold fetches the window,
+picks the most-loaded victim, and requests work with plain send/recv
+(the paper: "the actual transfer of work is done through MPI send and
+receive operations, not RMA").
+
+Termination uses a second window slot as an atomic outstanding-work
+counter: +n when items are seeded or spawned, -1 when an item completes;
+zero means the whole computation is drained (work may spawn work, so
+local emptiness is not termination).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .comm import ANY_SOURCE, ANY_TAG, Message, ThreadComm
+from .rma import Window
+
+__all__ = ["WorkItem", "WorkQueue", "DistributedWorker", "TAG_STEAL_REQ",
+           "TAG_STEAL_REP"]
+
+TAG_STEAL_REQ = 101
+TAG_STEAL_REP = 102
+
+
+@dataclass(order=False)
+class WorkItem:
+    """One schedulable unit (a subdomain to triangulate or refine)."""
+
+    cost: float
+    payload: Any
+    kind: str = "generic"
+    item_id: int = field(default_factory=itertools.count().__next__)
+
+
+class WorkQueue:
+    """Max-heap of work items by cost with an O(1) total-load figure."""
+
+    def __init__(self, items: Sequence[WorkItem] = ()) -> None:
+        self._heap: List[Tuple[float, int, WorkItem]] = []
+        self.total_cost = 0.0
+        for it in items:
+            self.push(it)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, item: WorkItem) -> None:
+        heapq.heappush(self._heap, (-item.cost, item.item_id, item))
+        self.total_cost += item.cost
+
+    def pop_largest(self) -> WorkItem:
+        _, _, item = heapq.heappop(self._heap)
+        self.total_cost -= item.cost
+        return item
+
+    def pop_smallest_half(self) -> List[WorkItem]:
+        """Donate roughly half the load, smallest items first.
+
+        Small subdomains transfer cheaply (the paper keeps boundary-layer
+        subdomains, which have the most points, at the *front* of the
+        queue so they are meshed locally rather than shipped).
+        """
+        if not self._heap:
+            return []
+        items = sorted((it for _, _, it in self._heap), key=lambda w: w.cost)
+        donated: List[WorkItem] = []
+        donated_cost = 0.0
+        half = self.total_cost / 2.0
+        for it in items:
+            if donated_cost + it.cost > half:
+                break
+            donated.append(it)
+            donated_cost += it.cost
+        if not donated and len(items) > 1:
+            donated = [items[0]]
+        keep = {d.item_id for d in donated}
+        rest = [it for _, _, it in self._heap if it.item_id not in keep]
+        self._heap = []
+        self.total_cost = 0.0
+        for it in rest:
+            self.push(it)
+        return donated
+
+
+class DistributedWorker:
+    """SPMD mesher loop with window-based work stealing.
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator endpoint.
+    load_window:
+        RMA window with one slot per rank (load estimates).
+    counter_window:
+        RMA window whose slot 0 is the atomic outstanding-item counter.
+    process:
+        ``process(item) -> (result, new_items)`` — meshing one subdomain,
+        optionally spawning more work (recursive decomposition).
+    steal_threshold:
+        Request work when local load drops below this.
+    """
+
+    def __init__(
+        self,
+        comm: ThreadComm,
+        load_window: Window,
+        counter_window: Window,
+        process: Callable[[WorkItem], Tuple[Any, List[WorkItem]]],
+        *,
+        steal_threshold: float = 1.0,
+        poll_sleep: float = 0.0005,
+    ) -> None:
+        self.comm = comm
+        self.load_window = load_window
+        self.counter_window = counter_window
+        self.process = process
+        self.steal_threshold = steal_threshold
+        self.poll_sleep = poll_sleep
+        self.queue = WorkQueue()
+        self.results: List[Any] = []
+        self.n_steals_attempted = 0
+        self.n_steals_successful = 0
+        self.n_items_processed = 0
+
+    # ------------------------------------------------------------------
+    def seed(self, items: Sequence[WorkItem]) -> None:
+        """Add initial items; the caller must have already accounted for
+        them in the outstanding counter."""
+        for it in items:
+            self.queue.push(it)
+        self._publish_load()
+
+    def _publish_load(self) -> None:
+        self.load_window.put(self.queue.total_cost, self.comm.rank)
+
+    def _outstanding(self) -> float:
+        return float(self.counter_window.get(0)[0])
+
+    # ------------------------------------------------------------------
+    def _service_requests(self) -> None:
+        """The communicator-thread role: answer steal requests."""
+        while self.comm.iprobe(tag=TAG_STEAL_REQ):
+            msg = self.comm.recv(tag=TAG_STEAL_REQ)
+            donated = (
+                self.queue.pop_smallest_half()
+                if self.queue.total_cost > self.steal_threshold
+                else []
+            )
+            self._publish_load()
+            self.comm.send(donated, msg.source, tag=TAG_STEAL_REP)
+
+    def _try_steal(self) -> bool:
+        """Fetch the window, pick the most loaded rank, request work."""
+        loads = self.load_window.get()
+        loads[self.comm.rank] = -1.0
+        victim = int(loads.argmax())
+        if loads[victim] <= self.steal_threshold:
+            return False
+        self.n_steals_attempted += 1
+        self.comm.send(None, victim, tag=TAG_STEAL_REQ)
+        msg = None
+        while True:
+            if self.comm.iprobe(tag=TAG_STEAL_REP):
+                msg = self.comm.recv(tag=TAG_STEAL_REP)
+                break
+            # Keep serving others while waiting (no deadlock among
+            # mutually stealing ranks).
+            self._service_requests()
+            if self._outstanding() <= 0:
+                # The computation drained; the victim may already have
+                # terminated without answering — do NOT block on a reply
+                # that may never come.  (Victims service their queue once
+                # more on exit, so any reply that IS coming arrives before
+                # run() returns; a stale one is simply dropped with this
+                # rank.)
+                if self.comm.iprobe(tag=TAG_STEAL_REP):
+                    msg = self.comm.recv(tag=TAG_STEAL_REP)
+                break
+            time.sleep(self.poll_sleep)
+        items = (msg.payload if msg is not None else None) or []
+        for it in items:
+            self.queue.push(it)
+        if items:
+            self.n_steals_successful += 1
+            self._publish_load()
+        return bool(items)
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Any]:
+        """Process until the global outstanding counter hits zero."""
+        while True:
+            self._service_requests()
+            if len(self.queue):
+                item = self.queue.pop_largest()
+                self._publish_load()
+                result, spawned = self.process(item)
+                # +spawned -1 in ONE atomic op: the counter can never dip
+                # to zero while spawned work is in flight.
+                self.counter_window.fetch_and_op(len(spawned) - 1, 0)
+                for it in spawned:
+                    self.queue.push(it)
+                self._publish_load()
+                self.results.append(result)
+                self.n_items_processed += 1
+                continue
+            if self._outstanding() <= 0:
+                break
+            if not self._try_steal():
+                time.sleep(self.poll_sleep)
+        # Service any steal requests still parked in the inbox so their
+        # senders are never left waiting on a terminated victim.
+        self._service_requests()
+        self._publish_load()
+        return self.results

@@ -1,0 +1,82 @@
+"""Remote-memory-access window (the MPI_Win substitute).
+
+Section II.F/III: "A global memory window is allocated on the root
+process as an array that will hold the work load estimates for each
+process.  Each process will periodically update its work load estimate"
+via ``MPI_Put``; a hungry process fetches the whole window with
+``MPI_Get`` and picks the most loaded victim.
+
+The in-process backend realises the window as a shared NumPy array
+guarded by a lock: ``put``/``get``/``accumulate``/``fetch_and_op`` have
+MPI passive-target semantics (atomic with respect to each other, no
+involvement of the host rank — the defining property of RMA the paper
+exploits for zero-copy, low-latency transfers).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Window"]
+
+
+class Window:
+    """A shared 1D float64 window with passive-target RMA semantics."""
+
+    def __init__(self, size: int, host_rank: int = 0) -> None:
+        if size < 1:
+            raise ValueError("window needs at least one slot")
+        self.host_rank = host_rank
+        self._data = np.zeros(size, dtype=np.float64)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def put(self, value: float, offset: int) -> None:
+        """MPI_Put of a single value (lock/put/unlock epoch)."""
+        with self._lock:
+            self._data[offset] = value
+
+    def put_many(self, values: np.ndarray, offset: int = 0) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        with self._lock:
+            self._data[offset:offset + len(values)] = values
+
+    def get(self, offset: Optional[int] = None) -> np.ndarray:
+        """MPI_Get: snapshot the window (or one slot) into local memory."""
+        with self._lock:
+            if offset is None:
+                return self._data.copy()
+            return self._data[offset:offset + 1].copy()
+
+    def accumulate(self, value: float, offset: int,
+                   op: Callable[[float, float], float] = None) -> None:
+        """MPI_Accumulate (default op: sum), atomic."""
+        with self._lock:
+            if op is None:
+                self._data[offset] += value
+            else:
+                self._data[offset] = op(float(self._data[offset]), value)
+
+    def fetch_and_op(self, value: float, offset: int) -> float:
+        """MPI_Fetch_and_op (sum): returns the pre-update value, atomic.
+
+        The atomic read-modify-write used for distributed termination
+        counting (outstanding-work counter).
+        """
+        with self._lock:
+            old = float(self._data[offset])
+            self._data[offset] = old + value
+            return old
+
+    def compare_and_swap(self, expect: float, desired: float,
+                         offset: int) -> float:
+        with self._lock:
+            old = float(self._data[offset])
+            if old == expect:
+                self._data[offset] = desired
+            return old

@@ -1,0 +1,31 @@
+"""Sizing functions (element area fields) and boundary-layer growth laws."""
+
+from .functions import (
+    CallableSizing,
+    GradedDistanceSizing,
+    RadialSizing,
+    SizingFunction,
+    UniformSizing,
+    decoupling_edge_length,
+)
+from .growth import (
+    AdaptiveGrowth,
+    GeometricGrowth,
+    GrowthFunction,
+    PolynomialGrowth,
+    TanhGrowth,
+)
+
+__all__ = [
+    "AdaptiveGrowth",
+    "CallableSizing",
+    "GeometricGrowth",
+    "GradedDistanceSizing",
+    "GrowthFunction",
+    "PolynomialGrowth",
+    "RadialSizing",
+    "SizingFunction",
+    "TanhGrowth",
+    "UniformSizing",
+    "decoupling_edge_length",
+]

@@ -1,0 +1,184 @@
+"""Sizing functions: target element *area* as a function of position.
+
+The paper (Section II.E) drives both the inviscid-region Delaunay
+refinement ("Triangle's ability to use a user-defined area constraint")
+and the graded decoupling paths from a single sizing function, so that
+element size grows smoothly "based on distance from the initial geometry
+towards the far-field".  This module provides that function family plus
+the decoupling edge length of Eq. (1):
+
+    k = (1/2) * sqrt(A / sqrt(2))
+
+where ``A`` is the desired element area at the evaluation point — the
+conservative edge length such that Ruppert refinement with bound sqrt(2)
+and area bound ``A`` will never need to split a border edge of length
+2k or shorter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SizingFunction",
+    "UniformSizing",
+    "GradedDistanceSizing",
+    "RadialSizing",
+    "CallableSizing",
+    "decoupling_edge_length",
+]
+
+
+class SizingFunction(Protocol):
+    """Protocol: ``area_at(x, y)`` returns the max triangle area there."""
+
+    def area_at(self, x: float, y: float) -> float: ...
+
+
+def decoupling_edge_length(area: float) -> float:
+    """Eq. (1): k = 1/2 * sqrt(A / sqrt(2)).
+
+    The length scale used when marching vertices along decoupling paths;
+    spacing D is kept within [2k/sqrt(3), 2k) so that border edges satisfy
+    both Ruppert's circumradius-to-shortest-edge bound sqrt(2) and the
+    local area bound when the neighbouring subdomains are refined
+    independently.
+    """
+    if area <= 0:
+        raise ValueError("area must be positive")
+    return 0.5 * math.sqrt(area / math.sqrt(2.0))
+
+
+class UniformSizing:
+    """Constant maximum area everywhere."""
+
+    def __init__(self, area: float) -> None:
+        if area <= 0:
+            raise ValueError("area must be positive")
+        self.area = float(area)
+
+    def area_at(self, x: float, y: float) -> float:
+        return self.area
+
+    def __call__(self, x: float, y: float) -> float:
+        return self.area_at(x, y)
+
+
+class GradedDistanceSizing:
+    """Geometry-distance graded sizing (the paper's inviscid gradation).
+
+    Element *edge length* grows linearly with distance to the body:
+    ``h(d) = h0 + grading * d``, capped at ``h_max``; area is the area of
+    an equilateral triangle with that edge: ``A = sqrt(3)/4 * h^2``.
+    Distance is measured to a sample of body surface points (supplied as
+    an ``(n, 2)`` array), queried through a vectorised min-distance — the
+    dominant cost pattern is thousands of queries against a fixed point
+    cloud, so the implementation stores the cloud contiguously.
+
+    Parameters
+    ----------
+    surface_points:
+        Points sampling the geometry (airfoil surface or BL outer border).
+    h0:
+        Edge length at the surface.
+    grading:
+        Growth rate of edge length per unit distance (dimensionless);
+        values in [0.1, 0.5] give the smooth gradations of paper Fig. 10.
+    h_max:
+        Optional cap on edge length (far-field size).
+    """
+
+    def __init__(self, surface_points: np.ndarray, h0: float,
+                 grading: float = 0.3, h_max: float = math.inf) -> None:
+        pts = np.ascontiguousarray(np.asarray(surface_points, np.float64))
+        if pts.ndim != 2 or pts.shape[1] != 2 or len(pts) == 0:
+            raise ValueError("surface_points must be a nonempty (n, 2) array")
+        if h0 <= 0 or grading < 0 or h_max <= 0:
+            raise ValueError("h0, h_max must be > 0 and grading >= 0")
+        self._pts = pts
+        self.h0 = float(h0)
+        self.grading = float(grading)
+        self.h_max = float(h_max)
+        # Coarse acceleration: keep a decimated cloud for the far field and
+        # the exact covering radius ("pad") of the decimation — the largest
+        # distance from any surface point to its nearest coarse sample.
+        step = max(1, len(pts) // 256)
+        self._coarse = pts[::step]
+        if step == 1:
+            self._coarse_pad = 0.0
+        else:
+            worst = 0.0
+            for lo in range(0, len(pts), 4096):  # chunked: bounded memory
+                chunk = pts[lo:lo + 4096]
+                d2 = ((chunk[:, None, :] - self._coarse[None, :, :]) ** 2
+                      ).sum(axis=2)
+                worst = max(worst, float(d2.min(axis=1).max()))
+            self._coarse_pad = math.sqrt(worst)
+
+    def distance_to_surface(self, x: float, y: float) -> float:
+        dc = float(np.min(np.hypot(self._coarse[:, 0] - x,
+                                   self._coarse[:, 1] - y)))
+        if dc > 20.0 * self._coarse_pad:
+            # Far away: exact distance lies in [dc - pad, dc]; return the
+            # midpoint (relative error < 3% out here, where the sizing
+            # gradient is shallow anyway).
+            return max(dc - 0.5 * self._coarse_pad, 0.0)
+        return float(np.min(np.hypot(self._pts[:, 0] - x, self._pts[:, 1] - y)))
+
+    def edge_length_at(self, x: float, y: float) -> float:
+        d = self.distance_to_surface(x, y)
+        return min(self.h0 + self.grading * d, self.h_max)
+
+    def area_at(self, x: float, y: float) -> float:
+        h = self.edge_length_at(x, y)
+        return math.sqrt(3.0) / 4.0 * h * h
+
+    def __call__(self, x: float, y: float) -> float:
+        return self.area_at(x, y)
+
+
+class RadialSizing:
+    """Sizing graded with distance from a centre point (analytic, cheap).
+
+    Useful for tests and for the decoupling unit experiments where an
+    exactly known analytic gradation is wanted.
+    """
+
+    def __init__(self, center: Tuple[float, float], h0: float,
+                 grading: float = 0.3, h_max: float = math.inf) -> None:
+        if h0 <= 0 or grading < 0:
+            raise ValueError("h0 must be > 0 and grading >= 0")
+        self.center = (float(center[0]), float(center[1]))
+        self.h0 = float(h0)
+        self.grading = float(grading)
+        self.h_max = float(h_max)
+
+    def edge_length_at(self, x: float, y: float) -> float:
+        d = math.hypot(x - self.center[0], y - self.center[1])
+        return min(self.h0 + self.grading * d, self.h_max)
+
+    def area_at(self, x: float, y: float) -> float:
+        h = self.edge_length_at(x, y)
+        return math.sqrt(3.0) / 4.0 * h * h
+
+    def __call__(self, x: float, y: float) -> float:
+        return self.area_at(x, y)
+
+
+class CallableSizing:
+    """Adapt a plain ``f(x, y) -> area`` callable to the protocol."""
+
+    def __init__(self, fn: Callable[[float, float], float]) -> None:
+        self._fn = fn
+
+    def area_at(self, x: float, y: float) -> float:
+        a = float(self._fn(x, y))
+        if a <= 0:
+            raise ValueError(f"sizing function returned non-positive area {a}")
+        return a
+
+    def __call__(self, x: float, y: float) -> float:
+        return self.area_at(x, y)

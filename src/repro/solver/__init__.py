@@ -1,0 +1,39 @@
+"""Flow-solver substrate: P1 FEM, potential flow, iterative convergence."""
+
+from .blmodel import (
+    BLModelResult,
+    exact_solution,
+    isotropic_mesh,
+    layered_mesh,
+    solve_bl_model,
+)
+from .convergence import SolveResult, bicgstab, jacobi, pcg
+from .fem import (
+    apply_dirichlet,
+    assemble_convection,
+    assemble_mass,
+    assemble_stiffness,
+    boundary_nodes,
+    gradients,
+)
+from .flow import FlowResult, solve_potential_flow
+
+__all__ = [
+    "BLModelResult",
+    "FlowResult",
+    "SolveResult",
+    "apply_dirichlet",
+    "assemble_convection",
+    "assemble_mass",
+    "assemble_stiffness",
+    "bicgstab",
+    "boundary_nodes",
+    "gradients",
+    "exact_solution",
+    "isotropic_mesh",
+    "jacobi",
+    "layered_mesh",
+    "pcg",
+    "solve_bl_model",
+    "solve_potential_flow",
+]

@@ -1,0 +1,119 @@
+"""Iterative solvers with residual histories (paper Fig. 16).
+
+Fig. 16 plots the residual of the conservation-of-mass equation against
+solver iterations for the anisotropic vs. isotropic meshes of the same
+geometry, stopping at 1e-12.  The comparison we reproduce needs an
+iterative method whose per-iteration cost scales with mesh size and whose
+iteration count reflects the system: Jacobi-preconditioned conjugate
+gradients for the SPD diffusion systems, plus plain damped Jacobi and a
+BiCGSTAB wrapper for non-symmetric convection systems.  Every solver
+records the full relative-residual history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = ["SolveResult", "jacobi", "pcg", "bicgstab"]
+
+
+@dataclass
+class SolveResult:
+    x: np.ndarray
+    residuals: List[float]
+    converged: bool
+    iterations: int
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else np.inf
+
+
+def _rel(r: np.ndarray, b_norm: float) -> float:
+    return float(np.linalg.norm(r) / b_norm)
+
+
+def jacobi(A: sp.spmatrix, b: np.ndarray, *, tol: float = 1e-12,
+           max_iter: int = 100_000, omega: float = 0.8,
+           x0: Optional[np.ndarray] = None) -> SolveResult:
+    """Damped Jacobi iteration with residual history."""
+    A = A.tocsr()
+    b = np.asarray(b, dtype=np.float64)
+    d = A.diagonal()
+    if np.any(d == 0.0):
+        raise ValueError("zero diagonal entry: Jacobi undefined")
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    hist: List[float] = []
+    for it in range(1, max_iter + 1):
+        r = b - A @ x
+        rel = _rel(r, b_norm)
+        hist.append(rel)
+        if rel <= tol:
+            return SolveResult(x, hist, True, it - 1)
+        x = x + omega * (r / d)
+    return SolveResult(x, hist, False, max_iter)
+
+
+def pcg(A: sp.spmatrix, b: np.ndarray, *, tol: float = 1e-12,
+        max_iter: int = 100_000, x0: Optional[np.ndarray] = None
+        ) -> SolveResult:
+    """Jacobi-preconditioned conjugate gradients with residual history."""
+    A = A.tocsr()
+    b = np.asarray(b, dtype=np.float64)
+    d = A.diagonal()
+    if np.any(d <= 0.0):
+        raise ValueError("non-positive diagonal: not SPD-preconditionable")
+    minv = 1.0 / d
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    r = b - A @ x
+    z = minv * r
+    p = z.copy()
+    rz = float(r @ z)
+    hist: List[float] = [_rel(r, b_norm)]
+    if hist[0] <= tol:
+        return SolveResult(x, hist, True, 0)
+    for it in range(1, max_iter + 1):
+        Ap = A @ p
+        denom = float(p @ Ap)
+        if denom <= 0.0:
+            return SolveResult(x, hist, False, it)
+        alpha = rz / denom
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rel = _rel(r, b_norm)
+        hist.append(rel)
+        if rel <= tol:
+            return SolveResult(x, hist, True, it)
+        z = minv * r
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return SolveResult(x, hist, False, max_iter)
+
+
+def bicgstab(A: sp.spmatrix, b: np.ndarray, *, tol: float = 1e-12,
+             max_iter: int = 100_000) -> SolveResult:
+    """scipy BiCGSTAB wrapped to capture the residual history."""
+    A = A.tocsr()
+    b = np.asarray(b, dtype=np.float64)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    hist: List[float] = []
+
+    def cb(xk: np.ndarray) -> None:
+        hist.append(_rel(b - A @ xk, b_norm))
+
+    d = A.diagonal()
+    M = sp.diags(np.where(d != 0, 1.0 / d, 1.0)).tocsr()
+    x, info = spla.bicgstab(A, b, rtol=tol, atol=0.0, maxiter=max_iter,
+                            M=M, callback=cb)
+    converged = info == 0
+    if not hist:
+        hist = [_rel(b - A @ x, b_norm)]
+    return SolveResult(x, hist, converged, len(hist))

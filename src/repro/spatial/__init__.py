@@ -1,0 +1,6 @@
+"""Spatial search substrate: alternating digital tree and bucket grid."""
+
+from .adt import ADT
+from .grid import BucketGrid
+
+__all__ = ["ADT", "BucketGrid"]

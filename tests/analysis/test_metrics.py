@@ -1,0 +1,134 @@
+"""Tests for anisotropy metrics and mesh reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    alignment_to_surface,
+    element_directions,
+    histogram,
+    size_profile,
+)
+from repro.analysis.report import mesh_report
+from repro.delaunay.mesh import TriMesh
+
+
+def stretched_strip(n=20, height=0.01):
+    """A horizontal strip of thin elements stretched along x."""
+    pts = []
+    for i in range(n + 1):
+        pts.append((i / n, 0.0))
+        pts.append((i / n, height))
+    tris = []
+    for i in range(n):
+        a, b = 2 * i, 2 * i + 1
+        c, d = 2 * i + 2, 2 * i + 3
+        tris.append((a, c, b))
+        tris.append((b, c, d))
+    return TriMesh(np.asarray(pts, dtype=float), np.asarray(tris))
+
+
+class TestElementDirections:
+    def test_stretched_elements_point_along_x(self):
+        mesh = stretched_strip()
+        dirs, ratio = element_directions(mesh)
+        assert np.all(ratio > 3.0)
+        assert np.all(np.abs(dirs[:, 0]) > 0.99)
+
+    def test_equilateral_isotropic(self):
+        h = math.sqrt(3) / 2
+        mesh = TriMesh(np.array([(0, 0), (1, 0), (0.5, h)]),
+                       np.array([(0, 1, 2)]))
+        _, ratio = element_directions(mesh)
+        assert ratio[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_vertical_stretch(self):
+        mesh = TriMesh(
+            np.array([(0, 0), (0.01, 0), (0.005, 1.0)]),
+            np.array([(0, 1, 2)]),
+        )
+        dirs, ratio = element_directions(mesh)
+        assert ratio[0] > 10
+        assert abs(dirs[0, 1]) > 0.99
+
+
+class TestAlignment:
+    def test_strip_aligned_with_horizontal_surface(self):
+        mesh = stretched_strip()
+        surface = np.array([(0, -0.1), (1, -0.1), (1, -0.2), (0, -0.2)])
+        scores = alignment_to_surface(mesh, surface)
+        assert len(scores) == mesh.n_triangles
+        assert np.median(scores) > 0.95
+
+    def test_misaligned_detected(self):
+        mesh = stretched_strip()
+        # A tall thin wall to the right: its long VERTICAL side is nearest
+        # to every strip element, so the x-stretched elements score as
+        # orthogonal to the local surface tangent.
+        surface = np.array([(2.0, -50.0), (2.1, -50.0),
+                            (2.1, 50.0), (2.0, 50.0)])
+        scores = alignment_to_surface(mesh, surface)
+        assert np.median(scores) < 0.2
+
+    def test_no_stretched_elements(self):
+        h = math.sqrt(3) / 2
+        mesh = TriMesh(np.array([(0, 0), (1, 0), (0.5, h)]),
+                       np.array([(0, 1, 2)]))
+        scores = alignment_to_surface(
+            mesh, np.array([(0, 0), (1, 0), (1, 1)]))
+        assert len(scores) == 0
+
+    def test_bl_mesh_aligns_with_airfoil(self):
+        from repro.core.bl_pipeline import (
+            BoundaryLayerConfig,
+            generate_boundary_layer,
+        )
+        from repro.geometry.airfoils import naca0012
+        from repro.geometry.pslg import PSLG
+
+        pslg = PSLG.from_loops([naca0012(61)])
+        res = generate_boundary_layer(
+            pslg, BoundaryLayerConfig(first_spacing=1e-3, growth_ratio=1.3,
+                                      max_layers=15))
+        scores = alignment_to_surface(res.mesh, naca0012(61), min_ratio=5.0)
+        assert len(scores) > 20
+        # The paper's protected property: BL elements align with the wall.
+        assert np.median(scores) > 0.9
+
+
+class TestSizeProfile:
+    def test_graded_mesh_profile_increases(self):
+        from repro.delaunay.refine import refine_pslg
+        from repro.sizing.functions import RadialSizing
+
+        s = RadialSizing((0, 0), h0=0.05, grading=0.5, h_max=2.0)
+        pts = np.array([(-5, -5), (5, -5), (5, 5), (-5, 5)], dtype=float)
+        segs = np.array([(0, 1), (1, 2), (2, 3), (3, 0)])
+        mesh = refine_pslg(pts, segs, area_fn=s.area_at)
+        prof = size_profile(mesh, np.array([(0.0, 0.0)]),
+                            bins=[0.0, 1.0, 2.5, 5.0])
+        assert len(prof) == 3
+        assert prof[0]["mean_area"] < prof[-1]["mean_area"]
+
+
+class TestHistogramAndReport:
+    def test_histogram_text(self):
+        txt = histogram(np.random.default_rng(0).normal(size=500),
+                        bins=5, label="demo")
+        assert "demo (n=500)" in txt
+        assert txt.count("\n") == 5
+
+    def test_histogram_empty(self):
+        assert "(no data)" in histogram(np.array([np.nan]), label="x")
+
+    def test_mesh_report_runs(self):
+        from repro.delaunay.refine import refine_pslg
+
+        pts = np.array([(0, 0), (1, 0), (1, 1), (0, 1)], dtype=float)
+        segs = np.array([(0, 1), (1, 2), (2, 3), (3, 0)])
+        mesh = refine_pslg(pts, segs, max_area=0.05)
+        txt = mesh_report(mesh, surface=np.array([(0.5, 0.0)]))
+        assert "[OK]" in txt
+        assert "quality:" in txt

@@ -1,0 +1,211 @@
+"""Tests for the projection-based decomposition (Section II.D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decompose import decompose, leaf_region_mask, triangulate_leaves
+from repro.core.projection import dividing_path, project_onto_paraboloid, side_of_path
+from repro.core.subdomain import Subdomain
+from repro.delaunay.kernel import delaunay_mesh
+from repro.delaunay.mesh import merge_meshes
+
+
+def tri_keyset(mesh):
+    return {
+        tuple(sorted(np.round(mesh.points[list(t)], 12).ravel()))
+        for t in mesh.triangles.tolist()
+    }
+
+
+class TestSubdomain:
+    def test_sorted_orders(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1, size=(50, 2))
+        sub = Subdomain.from_points(pts)
+        xs = pts[sub.x_order, 0]
+        ys = pts[sub.y_order, 1]
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_bbox_constant_time_correct(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-5, 7, size=(40, 2))
+        sub = Subdomain.from_points(pts)
+        box = sub.bbox()
+        assert box.xmin == pts[:, 0].min()
+        assert box.xmax == pts[:, 0].max()
+        assert box.ymin == pts[:, 1].min()
+        assert box.ymax == pts[:, 1].max()
+
+    def test_cut_axis_splits_long_dimension(self):
+        wide = Subdomain.from_points(
+            np.column_stack([np.linspace(0, 10, 20), np.zeros(20)]))
+        assert wide.cut_axis() == "y"  # vertical cut splits x
+        tall = Subdomain.from_points(
+            np.column_stack([np.zeros(20), np.linspace(0, 10, 20)]))
+        assert tall.cut_axis() == "x"
+
+    def test_median_vertex(self):
+        pts = np.column_stack([np.arange(9.0), np.zeros(9)])
+        sub = Subdomain.from_points(pts)
+        med = sub.median_vertex("y")
+        assert pts[med, 0] == 4.0
+
+    def test_partition_preserves_sortedness_and_points(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 1, size=(80, 2))
+        sub = Subdomain.from_points(pts)
+        axis = sub.cut_axis()
+        med = sub.median_vertex(axis)
+        hull = dividing_path(sub, axis, med)
+        left, right = sub.partition(axis, med, hull)
+        for child in (left, right):
+            assert np.all(np.diff(child.coords[child.x_order, 0]) >= 0)
+            assert np.all(np.diff(child.coords[child.y_order, 1]) >= 0)
+            assert child.level == 1
+        # Every original point in at least one child; hull in both.
+        union = set(left.gid.tolist()) | set(right.gid.tolist())
+        assert union == set(range(80))
+        both = set(left.gid.tolist()) & set(right.gid.tolist())
+        assert set(int(sub.gid[h]) for h in hull) <= both
+
+    def test_hull_vertices_marked_boundary(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 1, size=(50, 2))
+        sub = Subdomain.from_points(pts)
+        axis = sub.cut_axis()
+        med = sub.median_vertex(axis)
+        hull = dividing_path(sub, axis, med)
+        left, right = sub.partition(axis, med, hull)
+        hull_gids = {int(sub.gid[h]) for h in hull}
+        for child in (left, right):
+            for i, g in enumerate(child.gid):
+                if int(g) in hull_gids:
+                    assert child.boundary[i]
+
+    def test_unknown_mode(self):
+        sub = Subdomain.from_points(np.random.default_rng(0).uniform(size=(9, 2)))
+        with pytest.raises(ValueError):
+            sub.partition("y", 0, np.array([0]), mode="bogus")
+
+
+class TestProjection:
+    def test_median_at_apex(self):
+        pts = np.array([(0, 0), (1, 2), (-1, 3)], dtype=float)
+        uv = project_onto_paraboloid(pts, "y", (0.0, 0.0))
+        assert uv[0, 1] == 0.0  # the centre projects to v = 0
+        assert np.all(uv[1:, 1] > 0)
+
+    def test_u_is_cut_axis_coordinate(self):
+        pts = np.array([(3, 7)], dtype=float)
+        assert project_onto_paraboloid(pts, "y", (0, 0))[0, 0] == 7
+        assert project_onto_paraboloid(pts, "x", (0, 0))[0, 0] == 3
+
+    def test_path_edges_are_delaunay(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            pts = rng.uniform(0, 1, size=(60, 2))
+            sub = Subdomain.from_points(pts)
+            axis = sub.cut_axis()
+            med = sub.median_vertex(axis)
+            hull = dividing_path(sub, axis, med)
+            glob = delaunay_mesh(pts)
+            edges = {tuple(sorted(e)) for e in glob.edges().tolist()}
+            for a, b in zip(hull, hull[1:]):
+                assert tuple(sorted((int(a), int(b)))) in edges
+
+    def test_median_vertex_on_path(self):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 1, size=(40, 2))
+        sub = Subdomain.from_points(pts)
+        axis = sub.cut_axis()
+        med = sub.median_vertex(axis)
+        hull = dividing_path(sub, axis, med)
+        assert med in hull.tolist()
+
+    def test_side_of_path_simple(self):
+        path = np.array([(0, 0), (0, 1), (0, 2)], dtype=float)  # x=0 line
+        assert side_of_path(path, "y", (-1.0, 1.0)) == 1   # left: smaller x
+        assert side_of_path(path, "y", (1.0, 1.0)) == -1
+        assert side_of_path(path, "y", (0.0, 1.5)) == 0
+
+    def test_side_of_path_zigzag_covering_segment(self):
+        # A zigzag where the nearest segment is NOT the covering one.
+        path = np.array([(0, 0), (5, 1), (0, 2)], dtype=float)
+        # Point at u=y=0.5 sits in strip of segment (0,0)-(5,1).
+        assert side_of_path(path, "y", (1.0, 0.5)) == side_of_path(
+            np.array([(0, 0), (5, 1)], dtype=float), "y", (1.0, 0.5)
+        )
+
+
+class TestDecompose:
+    def test_termination_by_leaf_size(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1, size=(500, 2))
+        res = decompose(pts, leaf_size=50)
+        assert all(len(l) <= 130 for l in res.leaves)  # ~2x slack + hull dup
+        assert len(res.leaves) >= 8
+
+    def test_termination_by_level(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1, size=(500, 2))
+        res = decompose(pts, leaf_size=1, max_level=3)
+        assert len(res.leaves) <= 8
+        assert all(l.level <= 3 for l in res.leaves)
+
+    def test_balance_reasonable(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 1, size=(1000, 2))
+        res = decompose(pts, leaf_size=80)
+        assert res.balance() < 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            decompose(np.empty((0, 2)))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_merged_equals_global_delaunay(self, seed):
+        """The paper's core guarantee: independently triangulated leaves
+        reassemble into the exact global Delaunay triangulation."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 1, size=(250, 2))
+        res = decompose(pts, leaf_size=40)
+        merged = merge_meshes(triangulate_leaves(res))
+        glob = delaunay_mesh(pts)
+        assert tri_keyset(merged) == tri_keyset(glob)
+        assert merged.is_conforming()
+
+    def test_anisotropic_cloud(self):
+        """BL-like anisotropic point distribution: thin layered offsets."""
+        xs = np.linspace(0, 1, 60)
+        layers = [0.0, 1e-4, 2.5e-4, 5e-4, 1e-3, 2e-3]
+        pts = np.array([(x, y) for x in xs for y in layers])
+        res = decompose(pts, leaf_size=50)
+        merged = merge_meshes(triangulate_leaves(res))
+        glob = delaunay_mesh(pts)
+        # Both cover the same area and are conforming & Delaunay.
+        assert merged.is_conforming()
+        assert abs(np.abs(merged.areas()).sum()
+                   - np.abs(glob.areas()).sum()) < 1e-12
+        assert merged.delaunay_violations(respect_segments=True) == 0
+
+    def test_coordinate_mode_still_tiles(self):
+        """The paper's Section III branch-free split: the merged mesh must
+        remain a conforming triangulation of the full hull area (it may
+        deviate from Delaunay near paths)."""
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 1, size=(250, 2))
+        res = decompose(pts, leaf_size=40, partition_mode="coordinate")
+        merged = merge_meshes(triangulate_leaves(res))
+        glob = delaunay_mesh(pts)
+        assert merged.is_conforming()
+
+    def test_grid_degenerate(self):
+        xs, ys = np.meshgrid(np.arange(10.0), np.arange(10.0))
+        pts = np.column_stack([xs.ravel(), ys.ravel()])
+        res = decompose(pts, leaf_size=30)
+        merged = merge_meshes(triangulate_leaves(res))
+        assert merged.is_conforming()
+        assert np.abs(merged.areas()).sum() == pytest.approx(81.0)

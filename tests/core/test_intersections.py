@@ -1,0 +1,130 @@
+"""Tests for ray intersection resolution (self and multi-element)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.intersections import (
+    outer_border_segments,
+    ray_segment,
+    resolve_multi_element_intersections,
+    resolve_self_intersections,
+)
+from repro.core.rays import Ray
+from repro.geometry.primitives import segments_intersect
+
+
+def make_ray(ox, oy, dx, dy, **kw):
+    n = math.hypot(dx, dy)
+    return Ray(origin=(ox, oy), direction=(dx / n, dy / n), **kw)
+
+
+class TestSelfIntersections:
+    def test_parallel_rays_untouched(self):
+        rays = [make_ray(x, 0, 0, 1) for x in np.linspace(0, 1, 5)]
+        n = resolve_self_intersections(rays, default_height=1.0)
+        assert n == 0
+        assert all(math.isinf(r.max_height) for r in rays)
+
+    def test_crossing_pair_truncated(self):
+        # Two rays leaning into each other: cross at x=0.5.
+        r1 = make_ray(0, 0, 1, 1)
+        r2 = make_ray(1, 0, -1, 1)
+        n = resolve_self_intersections([r1, r2], default_height=2.0)
+        assert n == 2
+        # Crossing at (0.5, 0.5): distance sqrt(0.5); factor 0.5.
+        assert r1.max_height == pytest.approx(0.5 * math.sqrt(0.5))
+        assert r2.max_height == pytest.approx(0.5 * math.sqrt(0.5))
+
+    def test_truncated_segments_no_longer_cross(self):
+        rng = np.random.default_rng(0)
+        # A concave "vee" surface: rays on both walls point inward.
+        rays = []
+        for t in np.linspace(0, 1, 12):
+            rays.append(make_ray(-1 + t, 1 - t, 1, 1))   # left wall
+        for t in np.linspace(0, 1, 12):
+            rays.append(make_ray(t, t, -1, 1))            # right wall
+        resolve_self_intersections(rays, default_height=1.5)
+        segs = [ray_segment(r, 1.5) for r in rays]
+        for i in range(len(segs)):
+            for j in range(i + 1, len(segs)):
+                if rays[i].origin == rays[j].origin:
+                    continue
+                assert not segments_intersect(
+                    *segs[i], *segs[j], proper_only=True
+                ), (i, j)
+
+    def test_fan_rays_shared_origin_ignored(self):
+        fan = [make_ray(0, 0, math.cos(a), math.sin(a))
+               for a in np.linspace(0.2, math.pi - 0.2, 7)]
+        n = resolve_self_intersections(fan, default_height=1.0)
+        assert n == 0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            resolve_self_intersections([make_ray(0, 0, 0, 1)], 1.0,
+                                       truncation_factor=0.0)
+
+    def test_empty(self):
+        assert resolve_self_intersections([], 1.0) == 0
+
+
+class TestOuterBorder:
+    def test_square_ring(self):
+        rays = [
+            make_ray(0, 0, -1, -1),
+            make_ray(1, 0, 1, -1),
+            make_ray(1, 1, 1, 1),
+            make_ray(0, 1, -1, 1),
+        ]
+        for r in rays:
+            r.heights = [math.sqrt(2) * 0.5]
+        segs = outer_border_segments(rays, default_height=10.0)
+        assert len(segs) == 4
+
+
+class TestMultiElement:
+    def _two_columns(self, gap):
+        """Two vertical 'surfaces' facing each other across a gap."""
+        left = [make_ray(0, y, 1, 0, element=0) for y in np.linspace(0, 1, 6)]
+        right = [make_ray(gap, y, -1, 0, element=1)
+                 for y in np.linspace(0, 1, 6)]
+        return left, right
+
+    def test_far_apart_untouched(self):
+        left, right = self._two_columns(gap=10.0)
+        n = resolve_multi_element_intersections([left, right],
+                                                default_height=1.0)
+        assert n == 0
+
+    def test_close_elements_truncate(self):
+        left, right = self._two_columns(gap=1.0)
+        n = resolve_multi_element_intersections([left, right],
+                                                default_height=2.0)
+        assert n > 0
+        # Rays from the left column must stop before the right surface.
+        for r in left:
+            assert r.max_height <= 1.0
+
+    def test_truncation_respects_other_border_not_just_surface(self):
+        left, right = self._two_columns(gap=1.0)
+        # Give the right column pre-existing heights: its border sits at
+        # x = 1 - 0.3 = 0.7.
+        for r in right:
+            r.heights = [0.3]
+        resolve_multi_element_intersections([left, right], default_height=2.0)
+        for r in left[1:-1]:  # interior rays squarely face the border
+            assert r.max_height <= 0.7 + 1e-9
+
+    def test_single_element_noop(self):
+        left, _ = self._two_columns(gap=1.0)
+        n = resolve_multi_element_intersections([left], default_height=2.0)
+        assert n == 0
+
+    def test_invalid_factor(self):
+        left, right = self._two_columns(gap=1.0)
+        with pytest.raises(ValueError):
+            resolve_multi_element_intersections(
+                [left, right], 1.0, truncation_factor=2.0
+            )

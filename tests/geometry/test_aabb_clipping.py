@@ -1,0 +1,158 @@
+"""Tests for AABB boxes and Cohen-Sutherland clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB, boxes_from_segments, segment_extent_box
+from repro.geometry.clipping import (
+    BOTTOM,
+    INSIDE,
+    LEFT,
+    RIGHT,
+    TOP,
+    clip_segment,
+    outcode,
+    segment_intersects_box,
+    segments_intersect_box_batch,
+)
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+point = st.tuples(coord, coord)
+
+UNIT = AABB(0, 0, 1, 1)
+
+
+class TestAABB:
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            AABB(1, 0, 0, 1)
+
+    def test_of_points(self):
+        b = AABB.of_points([(0, 1), (2, -1), (1, 0)])
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (0, -1, 2, 1)
+
+    def test_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            AABB.of_points([])
+
+    def test_contains(self):
+        assert UNIT.contains_point((0.5, 0.5))
+        assert UNIT.contains_point((0, 0))  # closed box
+        assert not UNIT.contains_point((1.1, 0.5))
+
+    def test_overlaps(self):
+        assert UNIT.overlaps(AABB(0.5, 0.5, 2, 2))
+        assert UNIT.overlaps(AABB(1, 0, 2, 1))  # edge touch
+        assert not UNIT.overlaps(AABB(1.01, 0, 2, 1))
+
+    def test_union_and_expand(self):
+        u = UNIT.union(AABB(2, 2, 3, 3))
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, 0, 3, 3)
+        e = UNIT.expanded(1)
+        assert (e.xmin, e.ymin, e.xmax, e.ymax) == (-1, -1, 2, 2)
+
+    def test_4d_point(self):
+        assert UNIT.as_4d_point() == (0, 0, 1, 1)
+
+    @given(a=point, b=point)
+    def test_segment_extent_contains_endpoints(self, a, b):
+        box = segment_extent_box(a, b)
+        assert box.contains_point(a) and box.contains_point(b)
+
+    def test_boxes_from_segments(self):
+        segs = np.array([[[0, 0], [1, 2]], [[3, -1], [2, 4]]], dtype=float)
+        boxes = boxes_from_segments(segs)
+        assert boxes.shape == (2, 4)
+        np.testing.assert_allclose(boxes[0], [0, 0, 1, 2])
+        np.testing.assert_allclose(boxes[1], [2, -1, 3, 4])
+
+    def test_boxes_from_segments_bad_shape(self):
+        with pytest.raises(ValueError):
+            boxes_from_segments(np.zeros((3, 2)))
+
+
+class TestOutcode:
+    def test_regions(self):
+        assert outcode((0.5, 0.5), UNIT) == INSIDE
+        assert outcode((-1, 0.5), UNIT) == LEFT
+        assert outcode((2, 0.5), UNIT) == RIGHT
+        assert outcode((0.5, -1), UNIT) == BOTTOM
+        assert outcode((0.5, 2), UNIT) == TOP
+        assert outcode((-1, -1), UNIT) == LEFT | BOTTOM
+        assert outcode((2, 2), UNIT) == RIGHT | TOP
+
+
+class TestSegmentIntersectsBox:
+    def test_fully_inside(self):
+        assert segment_intersects_box((0.2, 0.2), (0.8, 0.8), UNIT)
+
+    def test_crossing(self):
+        assert segment_intersects_box((-1, 0.5), (2, 0.5), UNIT)
+
+    def test_diagonal_corner_cut(self):
+        assert segment_intersects_box((-0.5, 0.5), (0.5, -0.5), UNIT)
+
+    def test_miss_same_side(self):
+        assert not segment_intersects_box((-1, -1), (-1, 2), UNIT)
+
+    def test_miss_diagonal(self):
+        # Both endpoints outside in different regions, but misses the box.
+        assert not segment_intersects_box((-1, 0.5), (0.5, 2.5), UNIT)
+
+    def test_touch_edge(self):
+        assert segment_intersects_box((0, -1), (0, 2), UNIT)
+
+    @given(a=point, b=point)
+    @settings(max_examples=300)
+    def test_matches_bruteforce(self, a, b):
+        from repro.geometry.primitives import segments_intersect
+
+        box = AABB(-10, -10, 10, 10)
+        got = segment_intersects_box(a, b, box)
+        inside = box.contains_point(a) or box.contains_point(b)
+        edges = [
+            ((box.xmin, box.ymin), (box.xmax, box.ymin)),
+            ((box.xmax, box.ymin), (box.xmax, box.ymax)),
+            ((box.xmax, box.ymax), (box.xmin, box.ymax)),
+            ((box.xmin, box.ymax), (box.xmin, box.ymin)),
+        ]
+        expect = inside or any(segments_intersect(a, b, e0, e1) for e0, e1 in edges)
+        assert got == expect
+
+
+class TestClipSegment:
+    def test_clip_crossing(self):
+        seg = clip_segment((-1, 0.5), (2, 0.5), UNIT)
+        assert seg is not None
+        (x0, y0), (x1, y1) = seg
+        assert sorted([x0, x1]) == pytest.approx([0, 1])
+        assert y0 == pytest.approx(0.5) and y1 == pytest.approx(0.5)
+
+    def test_clip_miss(self):
+        assert clip_segment((-1, -1), (-1, 2), UNIT) is None
+
+    def test_clip_inside_unchanged(self):
+        seg = clip_segment((0.2, 0.2), (0.8, 0.8), UNIT)
+        assert seg == ((0.2, 0.2), (0.8, 0.8))
+
+    @given(a=point, b=point)
+    @settings(max_examples=200)
+    def test_clip_consistent_with_test(self, a, b):
+        got = clip_segment(a, b, UNIT)
+        assert (got is not None) == segment_intersects_box(a, b, UNIT)
+        if got is not None:
+            for p in got:
+                assert UNIT.expanded(1e-9).contains_point(p)
+
+
+class TestBatchPrefilter:
+    @given(st.lists(st.tuples(point, point), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_matches_scalar(self, segs):
+        box = AABB(-10, -10, 10, 10)
+        arr = np.array([[list(a), list(b)] for a, b in segs], dtype=float)
+        mask = segments_intersect_box_batch(arr, box)
+        for i, (a, b) in enumerate(segs):
+            assert mask[i] == segment_intersects_box(a, b, box), (a, b)

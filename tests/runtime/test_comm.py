@@ -1,0 +1,212 @@
+"""Tests for the in-process communicator and RMA window."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.comm import ANY_SOURCE, ANY_TAG, CommError, ThreadComm, run_spmd
+from repro.runtime.rma import Window
+
+
+class TestPointToPoint:
+    def test_ring_pass(self):
+        def fn(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, nxt, tag=1)
+            msg = comm.recv(source=prv, tag=1)
+            return msg.payload
+
+        out = run_spmd(4, fn)
+        assert out == [3, 0, 1, 2]
+
+    def test_tag_matching_out_of_order(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=5)
+                comm.send("b", 1, tag=6)
+            elif comm.rank == 1:
+                # Receive tag 6 first: tag 5 must be stashed, not lost.
+                m6 = comm.recv(source=0, tag=6)
+                m5 = comm.recv(source=0, tag=5)
+                return (m5.payload, m6.payload)
+            return None
+
+        out = run_spmd(2, fn)
+        assert out[1] == ("a", "b")
+
+    def test_any_source(self):
+        def fn(comm):
+            if comm.rank == 0:
+                got = sorted(
+                    comm.recv(source=ANY_SOURCE).payload
+                    for _ in range(comm.size - 1)
+                )
+                return got
+            comm.send(comm.rank * 10, 0)
+            return None
+
+        out = run_spmd(4, fn)
+        assert out[0] == [10, 20, 30]
+
+    def test_bad_dest(self):
+        def fn(comm):
+            comm.send(1, 99)
+
+        with pytest.raises(CommError):
+            run_spmd(2, fn)
+
+    def test_iprobe(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=3)
+                comm.barrier()
+                return None
+            comm.barrier()
+            assert comm.iprobe(tag=3)
+            assert not comm.iprobe(tag=4)
+            return comm.recv(tag=3).payload
+
+        out = run_spmd(2, fn)
+        assert out[1] == "x"
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            data = {"k": 42} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        out = run_spmd(4, fn)
+        assert all(o == {"k": 42} for o in out)
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        out = run_spmd(4, fn)
+        assert out[0] == [0, 1, 4, 9]
+        assert out[1] is None
+
+    def test_gather_numpy_coordinates(self):
+        """The BL coordinate gather pattern: arrays of floats to root."""
+
+        def fn(comm):
+            coords = np.full((3, 2), float(comm.rank))
+            got = comm.gather(coords, root=0)
+            if comm.rank == 0:
+                return np.vstack(got)
+            return None
+
+        out = run_spmd(3, fn)
+        assert out[0].shape == (9, 2)
+        assert out[0][0, 0] == 0.0 and out[0][-1, 0] == 2.0
+
+    def test_scatter(self):
+        def fn(comm):
+            objs = [i * 100 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert run_spmd(4, fn) == [0, 100, 200, 300]
+
+    def test_scatter_wrong_length(self):
+        def fn(comm):
+            objs = [1] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(CommError):
+            run_spmd(3, fn)
+
+    def test_allreduce_sum(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        assert run_spmd(4, fn) == [10, 10, 10, 10]
+
+    def test_allreduce_max(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank, op=max)
+
+        assert run_spmd(5, fn) == [4] * 5
+
+    def test_repeated_collectives(self):
+        def fn(comm):
+            total = 0
+            for i in range(10):
+                total += comm.allreduce(i)
+            return total
+
+        out = run_spmd(3, fn)
+        assert all(o == sum(3 * i for i in range(10)) for o in out)
+
+
+class TestSPMDHarness:
+    def test_exception_propagates(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="boom"):
+            run_spmd(3, fn)
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda c: c.bcast("only", 0)) == ["only"]
+
+    def test_zero_ranks_invalid(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda c: None)
+
+
+class TestWindow:
+    def test_put_get(self):
+        w = Window(4)
+        w.put(3.5, 2)
+        np.testing.assert_allclose(w.get(), [0, 0, 3.5, 0])
+        np.testing.assert_allclose(w.get(2), [3.5])
+
+    def test_put_many(self):
+        w = Window(4)
+        w.put_many(np.array([1.0, 2.0]), offset=1)
+        np.testing.assert_allclose(w.get(), [0, 1, 2, 0])
+
+    def test_accumulate_and_fetch(self):
+        w = Window(1)
+        w.accumulate(5.0, 0)
+        old = w.fetch_and_op(-2.0, 0)
+        assert old == 5.0
+        assert w.get(0)[0] == 3.0
+
+    def test_compare_and_swap(self):
+        w = Window(1)
+        assert w.compare_and_swap(0.0, 9.0, 0) == 0.0
+        assert w.get(0)[0] == 9.0
+        assert w.compare_and_swap(1.0, 5.0, 0) == 9.0
+        assert w.get(0)[0] == 9.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Window(0)
+
+    def test_concurrent_accumulate(self):
+        w = Window(1)
+
+        def fn(comm):
+            for _ in range(200):
+                w.fetch_and_op(1.0, 0)
+
+        run_spmd(4, fn)
+        assert w.get(0)[0] == 800.0
+
+    def test_workload_window_pattern(self):
+        """The paper's pattern: each rank puts its load; a hungry rank
+        gets the window and picks the most loaded."""
+        w = Window(4)
+
+        def fn(comm):
+            w.put(float(comm.rank * 10), comm.rank)
+            comm.barrier()
+            loads = w.get()
+            return int(loads.argmax())
+
+        out = run_spmd(4, fn)
+        assert out == [3, 3, 3, 3]

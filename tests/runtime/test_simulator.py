@@ -1,0 +1,155 @@
+"""Tests for the discrete-event cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.simulator import (
+    NetworkModel,
+    SimConfig,
+    SimTask,
+    simulate,
+    strong_scaling,
+)
+
+
+def uniform_tasks(n, cost=1.0, size=4096.0):
+    return [SimTask(cost, size) for _ in range(n)]
+
+
+class TestNetworkModel:
+    def test_xfer(self):
+        net = NetworkModel(latency=1e-6, bandwidth=1e9)
+        assert net.xfer(0) == pytest.approx(1e-6)
+        assert net.xfer(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+
+
+class TestSimulate:
+    def test_single_rank_is_total_work(self):
+        tasks = uniform_tasks(20, cost=0.5)
+        res = simulate(tasks, 1)
+        assert res.makespan == pytest.approx(10.0, rel=1e-6)
+        assert res.n_steal_attempts == 0
+
+    def test_perfect_split_two_ranks(self):
+        tasks = uniform_tasks(16, cost=1.0)
+        res = simulate(tasks, 2)
+        # Nearly 2x: only distribution latency overhead.
+        assert res.makespan == pytest.approx(8.0, rel=0.01)
+
+    def test_speedup_monotone(self):
+        tasks = uniform_tasks(512, cost=0.1)
+        t_prev = None
+        for p in (1, 2, 4, 8, 16):
+            res = simulate(tasks, p)
+            if t_prev is not None:
+                assert res.makespan < t_prev
+            t_prev = res.makespan
+
+    def test_more_ranks_than_tasks(self):
+        tasks = uniform_tasks(4, cost=1.0)
+        res = simulate(tasks, 16)
+        # Makespan is one task (plus comms): surplus ranks idle.
+        assert res.makespan < 1.5
+
+    def test_heterogeneous_tasks_balanced_by_stealing(self):
+        rng = np.random.default_rng(0)
+        tasks = [SimTask(float(c)) for c in rng.lognormal(0, 1, size=400)]
+        total = sum(t.cost for t in tasks)
+        res = simulate(tasks, 8)
+        # Within 25% of the ideal split thanks to stealing.
+        assert res.makespan < 1.25 * total / 8 + max(t.cost for t in tasks)
+
+    def test_slow_network_hurts(self):
+        tasks = uniform_tasks(256, cost=0.01, size=1e6)
+        fast = simulate(tasks, 16, SimConfig(network=NetworkModel(2e-6, 7e9)))
+        slow = simulate(tasks, 16, SimConfig(network=NetworkModel(1e-3, 1e7)))
+        assert slow.makespan > fast.makespan
+
+    def test_serial_setup_adds(self):
+        tasks = uniform_tasks(16, cost=1.0)
+        base = simulate(tasks, 4)
+        withsetup = simulate(tasks, 4, SimConfig(serial_setup=5.0))
+        assert withsetup.makespan == pytest.approx(base.makespan + 5.0,
+                                                   rel=0.01)
+
+    def test_no_tasks_raises(self):
+        with pytest.raises(ValueError):
+            simulate([], 4)
+
+    def test_busy_conserves_work(self):
+        tasks = uniform_tasks(100, cost=0.3)
+        res = simulate(tasks, 8)
+        assert res.busy.sum() == pytest.approx(30.0, rel=1e-9)
+
+    def test_internal_efficiency_bounds(self):
+        tasks = uniform_tasks(200, cost=0.2)
+        res = simulate(tasks, 8)
+        assert 0.5 < res.efficiency_internal <= 1.0
+
+
+class TestStrongScaling:
+    def test_table_shape(self):
+        tasks = uniform_tasks(256, cost=0.5)
+        table = strong_scaling(tasks, [1, 2, 4, 8])
+        assert set(table) == {1, 2, 4, 8}
+        assert table[1]["speedup"] == pytest.approx(1.0, rel=0.01)
+        assert table[8]["speedup"] > 4.0
+        for p in table:
+            assert table[p]["efficiency"] <= 1.01
+
+    def test_external_sequential_baseline(self):
+        tasks = uniform_tasks(64, cost=1.0)
+        # The parallel mesher does 2% more work than the best sequential
+        # tool (decoupling overhead): sequential efficiency < 1 at P=1.
+        table = strong_scaling(tasks, [1], t_sequential=64.0 / 1.02)
+        assert table[1]["efficiency"] == pytest.approx(1 / 1.02, rel=1e-3)
+
+    def test_efficiency_decays_with_scale(self):
+        rng = np.random.default_rng(1)
+        tasks = [SimTask(float(c), 2e5) for c in rng.lognormal(-1, 0.8, 2000)]
+        table = strong_scaling(tasks, [4, 64])
+        assert table[64]["efficiency"] < table[4]["efficiency"]
+
+
+class TestDistributionAndFlags:
+    def test_tree_distribute_conserves_tasks(self):
+        from repro.runtime.simulator import _tree_distribute
+
+        tasks = uniform_tasks(100, cost=1.0)
+        net = NetworkModel(1e-6, 1e9)
+        queues, ready = _tree_distribute(
+            [SimTask(t.cost, t.size_bytes, i) for i, t in enumerate(tasks)],
+            8, net)
+        ids = sorted(t.task_id for q in queues for t in q)
+        assert ids == list(range(100))
+        assert ready[0] <= ready.max()
+        assert np.all(ready >= 0)
+
+    def test_tree_distribute_balances_cost(self):
+        from repro.runtime.simulator import _tree_distribute
+
+        rng = np.random.default_rng(0)
+        tasks = [SimTask(float(c), 1e3, i)
+                 for i, c in enumerate(rng.lognormal(0, 1, 256))]
+        net = NetworkModel(1e-6, 1e9)
+        queues, _ = _tree_distribute(tasks, 16, net)
+        costs = np.array([sum(t.cost for t in q) for q in queues])
+        assert costs.max() < 3.0 * costs.mean()
+
+    def test_stealing_flag_off(self):
+        rng = np.random.default_rng(1)
+        tasks = [SimTask(float(c)) for c in rng.lognormal(0, 1.0, 200)]
+        res_on = simulate(tasks, 16, SimConfig())
+        res_off = simulate(tasks, 16, SimConfig(stealing=False))
+        assert res_off.n_steal_attempts == 0
+        assert res_on.makespan <= res_off.makespan + 1e-12
+        # Work is conserved either way.
+        assert res_on.busy.sum() == pytest.approx(res_off.busy.sum())
+
+    def test_single_task_many_ranks(self):
+        res = simulate([SimTask(5.0)], 32)
+        assert res.makespan == pytest.approx(5.0, rel=0.01)

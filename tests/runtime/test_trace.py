@@ -1,0 +1,80 @@
+"""Tests for simulator tracing and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.simulator import NetworkModel, SimConfig, SimTask
+from repro.runtime.trace import render_gantt, simulate_traced
+
+
+def tasks(n=64, cost=0.5):
+    return [SimTask(cost, 4096.0) for _ in range(n)]
+
+
+class TestSimulateTraced:
+    def test_intervals_cover_busy_time(self):
+        tr = simulate_traced(tasks(), 4)
+        per_rank = np.zeros(4)
+        for iv in tr.intervals:
+            assert iv.end > iv.start
+            per_rank[iv.rank] += iv.end - iv.start
+        np.testing.assert_allclose(per_rank, tr.result.busy, rtol=1e-12)
+
+    def test_intervals_disjoint_per_rank(self):
+        tr = simulate_traced(tasks(n=40), 4)
+        by_rank = {}
+        for iv in tr.intervals:
+            by_rank.setdefault(iv.rank, []).append((iv.start, iv.end))
+        for spans in by_rank.values():
+            spans.sort()
+            for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+                assert s1 >= e0 - 1e-12
+
+    def test_every_task_appears_once(self):
+        tr = simulate_traced(tasks(n=50), 8)
+        ids = sorted(iv.task_id for iv in tr.intervals)
+        assert ids == list(range(50))
+
+    def test_steals_recorded(self):
+        rng = np.random.default_rng(0)
+        skewed = [SimTask(float(c)) for c in rng.lognormal(0, 1.2, 300)]
+        tr = simulate_traced(skewed, 16)
+        assert len(tr.steal_times) == tr.result.n_steal_successes
+        for t in tr.steal_times:
+            assert 0 <= t <= tr.result.makespan
+
+    def test_idle_fraction_tail(self):
+        tr = simulate_traced(tasks(), 4)
+        f = tr.idle_fraction_tail(0.2)
+        assert 0.0 <= f <= 1.0
+
+    def test_matches_untraced_result(self):
+        from repro.runtime.simulator import simulate
+
+        t = tasks(n=30)
+        tr = simulate_traced(t, 4)
+        plain = simulate(t, 4)
+        assert tr.result.makespan == pytest.approx(plain.makespan)
+
+
+class TestGantt:
+    def test_render_shape(self):
+        tr = simulate_traced(tasks(n=32), 4)
+        txt = render_gantt(tr, width=40)
+        lines = txt.splitlines()
+        assert len(lines) == 5  # 4 ranks + summary
+        for line in lines[:4]:
+            assert line.startswith("r0")
+            assert len(line.split("|")[1]) == 40
+        assert "makespan" in lines[-1]
+
+    def test_rank_cap(self):
+        tr = simulate_traced(tasks(n=128), 64)
+        txt = render_gantt(tr, width=30, max_ranks=8)
+        assert "more ranks" in txt
+
+    def test_busy_ranks_mostly_hash(self):
+        tr = simulate_traced(tasks(n=64), 2)
+        txt = render_gantt(tr, width=50)
+        row0 = txt.splitlines()[0].split("|")[1]
+        assert row0.count("#") > 45  # nearly fully busy
