@@ -1,0 +1,178 @@
+"""Hot-path benchmark: overhauled Delaunay kernel vs the seed kernel.
+
+Two scenarios on a 10k-point uniform-random workload:
+
+``insert-loop``
+    Both kernels ingest the *same* point stream in random order through
+    ``insert_point`` — the canonical kernel workload (point location has
+    no help from the caller).  This isolates the kernel itself: the
+    overhauled kernel's grid-seeded walks stay O(1) expected while the
+    seed kernel walks cold.  The >= 2x acceptance criterion is checked
+    here.
+
+``triangulate``
+    End-to-end ``triangulate()`` (BRIO ordering for both).  With walks
+    already short, this measures the fused insertion path and inlined
+    filtered predicates against the seed's scalar-predicate path.
+
+The seed baseline is the kernel source at the repository's root commit,
+extracted via ``git show`` at runtime (no vendored copy to drift).  All
+timings are interleaved best-of-N to blunt machine noise.  The fast
+kernel's counters are reported afterwards; the exact-predicate
+escalation rate must stay below 1% on this workload.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.delaunay import kernel as K  # noqa: E402
+from repro.runtime.counters import KernelCounters  # noqa: E402
+
+
+def load_seed_kernel():
+    """Import the kernel module as of the repository's root (seed) commit.
+
+    Returns the module, or ``None`` when the history is unavailable
+    (shallow clone, source tarball).
+    """
+    try:
+        root = subprocess.run(
+            ["git", "rev-list", "--max-parents=0", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.split()[0]
+        src = subprocess.run(
+            ["git", "show", f"{root}:src/repro/delaunay/kernel.py"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, OSError, IndexError):
+        return None
+    tmp = Path(tempfile.mkdtemp(prefix="seed_kernel_")) / "seed_kernel.py"
+    tmp.write_text(src)
+    spec = importlib.util.spec_from_file_location(
+        "repro.delaunay._seed_kernel", tmp)
+    mod = importlib.util.module_from_spec(spec)
+    # The seed kernel uses package-relative imports; resolve them against
+    # the live package (geometry/mesh modules are API-stable).
+    mod.__package__ = "repro.delaunay"
+    sys.modules["repro.delaunay._seed_kernel"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def time_call(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def insert_loop(kernel_mod, coords, fast=None):
+    if fast is None:
+        tri = kernel_mod.Triangulation()
+    else:
+        tri = kernel_mod.Triangulation(fast_predicates=fast)
+    insert = tri.insert_point
+    for x, y in coords:
+        insert(x, y)
+    return tri
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=10_000,
+                    help="point count (default 10000)")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="interleaved repetitions, best-of (default 3)")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: 4000 points, 2 reps")
+    ap.add_argument("--no-check", action="store_true",
+                    help="report only; skip the acceptance assertions")
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 4000)
+        args.reps = min(args.reps, 2)
+
+    rng = np.random.default_rng(42)
+    pts = rng.random((args.n, 2))
+    coords = pts.tolist()
+
+    seed_mod = load_seed_kernel()
+    if seed_mod is None:
+        print("WARNING: git history unavailable — no seed baseline; "
+              "timing the current kernel only")
+
+    scenarios = {}
+
+    def record(scenario, variant, dt):
+        key = (scenario, variant)
+        scenarios[key] = min(scenarios.get(key, float("inf")), dt)
+
+    for _ in range(args.reps):
+        record("insert-loop", "fast",
+               time_call(lambda: insert_loop(K, coords, fast=True)))
+        record("triangulate", "fast",
+               time_call(lambda: K.triangulate(pts)))
+        record("triangulate", "ref",
+               time_call(lambda: K.triangulate(pts, fast_predicates=False)))
+        if seed_mod is not None:
+            record("insert-loop", "seed",
+                   time_call(lambda: insert_loop(seed_mod, coords)))
+            record("triangulate", "seed",
+                   time_call(lambda: seed_mod.triangulate(pts)))
+
+    # Counters from one instrumented fast run of each scenario.
+    kc = KernelCounters()
+    kc.absorb(insert_loop(K, coords, fast=True))
+    kc.absorb(K.triangulate(pts))
+
+    print(f"\n=== kernel hot path — {args.n} uniform-random points, "
+          f"best of {args.reps} ===")
+    w = max(len(s) for s, _ in scenarios)
+    for scenario in ("insert-loop", "triangulate"):
+        fast = scenarios[(scenario, "fast")]
+        line = f"  {scenario:<{w}}  fast {fast:7.3f}s"
+        if (scenario, "ref") in scenarios:
+            line += f"  ref {scenarios[(scenario, 'ref')]:7.3f}s"
+        if (scenario, "seed") in scenarios:
+            seed = scenarios[(scenario, "seed")]
+            line += f"  seed {seed:7.3f}s  speedup {seed / fast:5.2f}x"
+        print(line)
+    print("\nfast-kernel counters:")
+    print(kc.report())
+
+    ok = True
+    if seed_mod is not None and not args.no_check:
+        speedup = (scenarios[("insert-loop", "seed")]
+                   / scenarios[("insert-loop", "fast")])
+        if speedup < 2.0:
+            print(f"FAIL: insert-loop speedup {speedup:.2f}x < 2x")
+            ok = False
+        else:
+            print(f"PASS: insert-loop speedup {speedup:.2f}x >= 2x")
+    if not args.no_check:
+        rate = kc.exact_escalation_rate
+        if rate >= 0.01:
+            print(f"FAIL: exact escalation rate {rate:.4%} >= 1%")
+            ok = False
+        else:
+            print(f"PASS: exact escalation rate {rate:.4%} < 1%")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

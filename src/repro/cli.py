@@ -83,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "quality, anisotropy)")
     p.add_argument("--stats-json", action="store_true",
                    help="print run statistics as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="collect and print kernel/phase counters "
+                   "(walk steps, cavity sizes, predicate escalations)")
     return p
 
 
@@ -135,8 +138,16 @@ def main(argv=None) -> int:
         target_subdomains=args.subdomains,
     )
     t0 = time.perf_counter()
-    result = generate_mesh(pslg, config, backend=args.backend,
-                           n_ranks=args.ranks)
+    if args.profile:
+        from .runtime.counters import use_counters
+
+        with use_counters() as profile_sink:
+            result = generate_mesh(pslg, config, backend=args.backend,
+                                   n_ranks=args.ranks)
+    else:
+        profile_sink = None
+        result = generate_mesh(pslg, config, backend=args.backend,
+                               n_ranks=args.ranks)
     elapsed = time.perf_counter() - t0
 
     out = Path(args.output)
@@ -170,7 +181,11 @@ def main(argv=None) -> int:
         "outputs": written,
         "timings": {k: round(v, 3) for k, v in result.timings.items()},
     }
+    if profile_sink is not None:
+        print(profile_sink.report())
     if args.stats_json:
+        if profile_sink is not None:
+            summary["profile"] = profile_sink.as_dict()
         print(json.dumps(summary, indent=2))
     else:
         print(f"mesh: {summary['n_triangles']} triangles, "

@@ -30,6 +30,7 @@ from ..delaunay.mesh import TriMesh, merge_meshes
 from ..delaunay.refine import RUPPERT_BOUND
 from ..geometry.aabb import AABB
 from ..geometry.pslg import PSLG
+from ..runtime.counters import phase
 from ..sizing.functions import GradedDistanceSizing
 from .bl_pipeline import (
     BoundaryLayerConfig,
@@ -104,7 +105,8 @@ def generate_mesh(
     # 1. Boundary layers.
     # ------------------------------------------------------------------
     t0 = time.perf_counter()
-    bl = generate_boundary_layer(pslg, config.bl)
+    with phase("boundary_layer"):
+        bl = generate_boundary_layer(pslg, config.bl)
     timings["boundary_layer"] = time.perf_counter() - t0
 
     # ------------------------------------------------------------------
@@ -152,8 +154,9 @@ def generate_mesh(
     half = config.farfield_chords * chord
     ff_box = AABB(cx - half, cy - half, cx + half, cy + half)
     quads = initial_quadrants(nb_box, ff_box, sizing)
-    subdomains = decouple(quads, sizing,
-                          target_count=max(config.target_subdomains - 1, 4))
+    with phase("decoupling"):
+        subdomains = decouple(quads, sizing,
+                              target_count=max(config.target_subdomains - 1, 4))
     timings["decoupling"] = time.perf_counter() - t0
 
     # ------------------------------------------------------------------
@@ -161,23 +164,25 @@ def generate_mesh(
     # ------------------------------------------------------------------
     t0 = time.perf_counter()
     work = [nearbody] + list(subdomains)
-    if backend == "local":
-        meshes = [
-            refine_subdomain(s, sizing, quality_bound=config.quality_bound,
-                             max_steiner=config.max_steiner)
-            for s in work
-        ]
-    elif backend == "threads":
-        meshes = _refine_parallel(work, sizing, config, n_ranks)
-    else:
-        raise ValueError(f"unknown backend: {backend}")
+    with phase("refinement"):
+        if backend == "local":
+            meshes = [
+                refine_subdomain(s, sizing, quality_bound=config.quality_bound,
+                                 max_steiner=config.max_steiner)
+                for s in work
+            ]
+        elif backend == "threads":
+            meshes = _refine_parallel(work, sizing, config, n_ranks)
+        else:
+            raise ValueError(f"unknown backend: {backend}")
     timings["refinement"] = time.perf_counter() - t0
 
     # ------------------------------------------------------------------
     # 6. Merge.
     # ------------------------------------------------------------------
     t0 = time.perf_counter()
-    merged = merge_meshes([bl.mesh] + meshes)
+    with phase("merge"):
+        merged = merge_meshes([bl.mesh] + meshes)
     timings["merge"] = time.perf_counter() - t0
 
     stats = {

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..geometry.predicates import incircle, orient2d
+from ..runtime.counters import current as counters_current
 from .kernel import GHOST, Triangulation, TriangulationError
 from .mesh import TriMesh
 
@@ -131,6 +132,11 @@ def insert_segment(tri: Triangulation, a: int, b: int,
         else:
             tri.mark_constraint(u, v)
             created.append((u, v))
+    sink = counters_current()
+    if sink is not None:
+        sink.incr("segments_recovered")
+        if len(created) > 1:
+            sink.incr("segment_splits", len(created) - 1)
     return created
 
 

@@ -10,15 +10,33 @@ decoupled inviscid subdomains.  Design:
   ``u -> v`` (plus the open edge itself).  Ghosts make insertion outside
   the current hull a completely uniform cavity operation — no giant
   super-triangle, no magic coordinates, exact arithmetic everywhere.
-* **Robust predicates.**  All sign decisions go through
-  :mod:`repro.geometry.predicates`, so the kernel never produces an
-  inverted triangle and cavity searches terminate.
-* **Walking point location** seeded from the most recent triangle (or a
-  caller-provided hint), with a step cap and a brute-force fallback for
-  adversarial inputs.
+* **Robust predicates, filter inlined.**  All sign decisions are exact.
+  The hot paths (point-location walk, cavity membership) evaluate the
+  floating-point *filter* stage of :mod:`repro.geometry.predicates`
+  inline and escalate only inconclusive signs to the exact rational
+  path; large cavity frontiers route through the vectorised
+  :func:`~repro.geometry.predicates.incircle_batch`.  A
+  ``fast_predicates=False`` kernel keeps every test on the scalar robust
+  functions — the reference used by differential tests and as the
+  benchmark baseline.
+* **BRIO insertion + walking point location** seeded from the most
+  recent triangle (or a caller-provided hint).  When the kernel observes
+  persistently long walks (cold, non-local insertion orders) it builds a
+  :class:`~repro.spatial.grid.BucketGrid` over its vertices and seeds
+  subsequent walks from the nearest known vertex, restoring expected-O(1)
+  location.  A step cap with a brute-force fallback guards adversarial
+  inputs.
 * **Constrained edges.**  A set of locked undirected edges that cavity
   searches refuse to cross; segment *recovery* (making an arbitrary edge
   appear) lives in :mod:`repro.delaunay.constrained`.
+* **Determinism.**  All randomness (walk tie-breaking, BRIO rounds) is
+  derived from explicit seeds threaded through the constructor and the
+  module-level drivers, so identical inputs yield byte-identical meshes.
+* **Observability.**  The kernel accumulates plain-integer ``stat_*``
+  counters (walk-step and cavity-size histograms, exact-predicate
+  escalations, grid seeds, flips) that
+  :class:`repro.runtime.counters.KernelCounters` absorbs; the overhead
+  is a handful of integer adds per insertion.
 
 The structure is array-of-lists Python for mutability; :meth:`to_mesh`
 exports a contiguous :class:`~repro.delaunay.mesh.TriMesh`.
@@ -26,14 +44,23 @@ exports a contiguous :class:`~repro.delaunay.mesh.TriMesh`.
 
 from __future__ import annotations
 
+import gc
 import math
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..geometry.predicates import incircle, orient2d
-from ..geometry.primitives import point_on_segment
+from ..geometry.predicates import (
+    INCIRCLE_ERR_BOUND,
+    INCIRCLE_UNDERFLOW_GUARD,
+    ORIENT_ERR_BOUND,
+    ORIENT_UNDERFLOW_GUARD,
+    batch_exact_counts,
+    incircle,
+    incircle_batch,
+    orient2d,
+)
 from .mesh import TriMesh
 
 __all__ = [
@@ -46,6 +73,32 @@ __all__ = [
 
 GHOST = -1
 
+# Hot-loop local aliases for the filter bounds (module constants resolve
+# faster than attribute lookups and keep the loops readable).
+_CCW_ERR = ORIENT_ERR_BOUND
+_ICC_ERR = INCIRCLE_ERR_BOUND
+_CCW_GUARD = ORIENT_UNDERFLOW_GUARD
+_ICC_GUARD = INCIRCLE_UNDERFLOW_GUARD
+
+#: Frontier size at which cavity expansion switches from the inlined
+#: scalar filter to one vectorised ``incircle_batch`` call per level.
+_BATCH_MIN = 12
+#: Cheap first-stage incircle certificate: with ``S = alift+blift+clift``
+#: the Shewchuk permanent obeys ``permanent <= S*S/3`` (AM-GM on the six
+#: products), so ``|det| > _ICC_CHEAP * S * S`` certifies the sign with
+#: strictly more slack than the full filter — and needs no abs() chain.
+_ICC_CHEAP = INCIRCLE_ERR_BOUND / 3.0
+#: ``S*S`` must stay clear of underflow for the cheap bound to be sound.
+_ICC_S_GUARD = 1e-125
+#: Walk-length EMA above which the vertex grid is built (cold insertion
+#: orders; BRIO-local insertion stays well below this).
+_GRID_EMA_THRESHOLD = 16.0
+#: Once built, the grid seeds walks only while the EMA stays above this
+#: (hysteresis: when locality returns, ``_last_tri`` is cheaper).
+_GRID_EMA_USE = 6.0
+#: Minimum vertex count before a grid is worth building.
+_GRID_MIN_POINTS = 128
+
 
 class TriangulationError(RuntimeError):
     """Raised for structurally invalid kernel operations."""
@@ -57,9 +110,22 @@ class Triangulation:
     Create empty, then :meth:`insert_point` each vertex (or use the
     module-level :func:`triangulate` convenience).  Triangle slots are
     recycled through a free list so ids stay dense.
+
+    Parameters
+    ----------
+    seed:
+        Seeds every source of randomness in the kernel (walk
+        tie-breaking).  Identical inputs + identical seed give
+        byte-identical triangulations.
+    fast_predicates:
+        ``True`` (default) uses the inlined filtered predicates with
+        exact escalation; ``False`` routes every test through the scalar
+        robust predicate functions (the pre-overhaul hot path, kept as a
+        reference for differential testing and benchmarking).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, seed: int = 0x5EED,
+                 fast_predicates: bool = True) -> None:
         self.pts: List[Tuple[float, float]] = []
         self.tri_v: List[Optional[List[int]]] = []   # 3 vertex ids or None (dead)
         self.tri_n: List[Optional[List[int]]] = []   # 3 neighbour tri ids
@@ -67,14 +133,35 @@ class Triangulation:
         self.vertex_tri: List[int] = []              # one incident tri per vertex
         self.constraints: Set[Tuple[int, int]] = set()
         self._last_tri: int = -1                     # walk hint
-        self._rng = random.Random(0x5EED)
-        self._lcg = 0x5EED
+        self._rng = random.Random(seed)
+        self._lcg = self._rng.getrandbits(31)
+        self._fast = bool(fast_predicates)
         self.n_live_triangles = 0                    # includes ghosts
         # Triangles created/removed by the most recent insert_point call —
         # lets refinement track per-triangle labels in O(cavity) instead of
         # O(n) snapshots.
         self.last_created: List[int] = []
         self.last_removed: List[int] = []
+        # Walk-acceleration grid: built lazily when walks run long.
+        self._grid = None
+        self._grid_cap = 0
+        self._walk_ema = 0.0
+        # Observability counters (absorbed by repro.runtime.counters).
+        self.stat_inserts = 0
+        self.stat_locates = 0
+        self.stat_walk_steps = 0
+        self.stat_brute_locates = 0
+        self.stat_grid_seeds = 0
+        self.stat_cavity_tris = 0
+        self.stat_flips = 0
+        self.stat_orient_fast = 0
+        self.stat_orient_exact = 0
+        self.stat_incircle_fast = 0
+        self.stat_incircle_exact = 0
+        self.stat_batch_calls = 0
+        self.stat_batch_entries = 0
+        self.stat_walk_hist = [0] * 32
+        self.stat_cavity_hist = [0] * 32
 
     # ------------------------------------------------------------------
     # Low-level triangle bookkeeping
@@ -107,7 +194,7 @@ class Triangulation:
     def _edge(self, t: int, k: int) -> Tuple[int, int]:
         """Directed edge opposite vertex ``k`` of triangle ``t``."""
         tv = self.tri_v[t]
-        return tv[(k + 1) % 3], tv[(k + 2) % 3]
+        return tv[k - 2], tv[k - 1]
 
     def _set_mutual(self, t1: int, k1: int, t2: int, k2: int) -> None:
         self.tri_n[t1][k1] = t2
@@ -117,7 +204,7 @@ class Triangulation:
         """Index k such that the directed edge k of ``t`` is (u, v)."""
         tv = self.tri_v[t]
         for k in range(3):
-            if tv[(k + 1) % 3] == u and tv[(k + 2) % 3] == v:
+            if tv[k - 2] == u and tv[k - 1] == v:
                 return k
         raise TriangulationError(f"edge ({u},{v}) not in triangle {t}={tv}")
 
@@ -126,7 +213,7 @@ class Triangulation:
         tv = self.tri_v[t]
         for k in range(3):
             if tv[k] == GHOST:
-                return tv[(k + 1) % 3], tv[(k + 2) % 3]
+                return tv[k - 2], tv[k - 1]
         raise TriangulationError(f"triangle {t} is not a ghost")
 
     def live_triangles(self) -> Iterable[int]:
@@ -135,11 +222,84 @@ class Triangulation:
                 yield t
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def kernel_stats(self) -> Dict[str, float]:
+        """Snapshot of the kernel's counters (histograms as raw buckets)."""
+        total = self.stat_orient_fast + self.stat_orient_exact \
+            + self.stat_incircle_fast + self.stat_incircle_exact
+        exact = self.stat_orient_exact + self.stat_incircle_exact
+        return {
+            "inserts": self.stat_inserts,
+            "locates": self.stat_locates,
+            "walk_steps": self.stat_walk_steps,
+            "brute_locates": self.stat_brute_locates,
+            "grid_seeds": self.stat_grid_seeds,
+            "cavity_triangles": self.stat_cavity_tris,
+            "flips": self.stat_flips,
+            "orient_fast": self.stat_orient_fast,
+            "orient_exact": self.stat_orient_exact,
+            "incircle_fast": self.stat_incircle_fast,
+            "incircle_exact": self.stat_incircle_exact,
+            "batch_calls": self.stat_batch_calls,
+            "batch_entries": self.stat_batch_entries,
+            "exact_escalation_rate": (exact / total) if total else 0.0,
+            "walk_hist": list(self.stat_walk_hist),
+            "cavity_hist": list(self.stat_cavity_hist),
+        }
+
+    def _note_walk(self, steps: int) -> None:
+        self.stat_locates += 1
+        self.stat_walk_steps += steps
+        self.stat_walk_hist[steps if steps < 31 else 31] += 1
+        ema = self._walk_ema + 0.125 * (steps - self._walk_ema)
+        self._walk_ema = ema
+        if ema > _GRID_EMA_THRESHOLD and len(self.pts) >= _GRID_MIN_POINTS:
+            if self._grid is None or len(self.pts) > self._grid_cap:
+                self._build_grid()
+
+    # ------------------------------------------------------------------
+    # Walk-acceleration grid
+    # ------------------------------------------------------------------
+    def _build_grid(self) -> None:
+        from ..geometry.aabb import AABB
+        from ..spatial.grid import BucketGrid
+
+        pts = self.pts
+        if not pts:
+            return
+        xs = [q[0] for q in pts]
+        ys = [q[1] for q in pts]
+        bounds = AABB(min(xs), min(ys), max(xs), max(ys))
+        # The grid is a snapshot: inserts do not feed it (that would tax
+        # every insertion), so when the point count doubles it is rebuilt
+        # — a stale nearest vertex is still a nearby walk seed, just a
+        # few steps further out.
+        self._grid_cap = max(2 * len(pts), 2 * _GRID_MIN_POINTS)
+        grid = BucketGrid(bounds, target_per_bucket=4.0,
+                          expected_points=self._grid_cap)
+        grid.insert_many(np.asarray(pts, dtype=np.float64))
+        self._grid = grid
+
+    def _grid_start(self, px: float, py: float) -> int:
+        """Walk-start triangle from the vertex grid, or -1."""
+        near = self._grid.nearest(px, py)
+        if near is None:
+            return -1
+        t = self.vertex_tri[near]
+        if t >= 0 and self.tri_v[t] is not None:
+            self.stat_grid_seeds += 1
+            return t
+        return -1
+
+    # ------------------------------------------------------------------
     # Predicates (real / ghost uniform)
     # ------------------------------------------------------------------
     def _in_disk(self, t: int, p: Tuple[float, float]) -> bool:
         """True if ``p`` lies in triangle ``t``'s (possibly ghost) open
-        circumdisk — the Bowyer–Watson cavity membership test."""
+        circumdisk — the Bowyer–Watson cavity membership test.  Scalar
+        robust path (the reference; hot paths use :meth:`_in_disk_fast`).
+        """
         tv = self.tri_v[t]
         if GHOST not in tv:
             return incircle(self.pts[tv[0]], self.pts[tv[1]], self.pts[tv[2]], p) > 0
@@ -154,9 +314,90 @@ class Triangulation:
             return (
                 min(pu[0], pv[0]) <= p[0] <= max(pu[0], pv[0])
                 and min(pu[1], pv[1]) <= p[1] <= max(pu[1], pv[1])
-                and p != tuple(pu) and p != tuple(pv)
+                and p != pu and p != pv
             )
         return False
+
+    def _in_disk_fast(self, t: int, px: float, py: float) -> bool:
+        """:meth:`_in_disk` with the filter stage inlined.
+
+        Certified filter signs return immediately (counted as fast);
+        inconclusive ones escalate to the exact scalar predicates
+        (counted as exact).  Decisions are identical to :meth:`_in_disk`.
+        """
+        tv = self.tri_v[t]
+        a = tv[0]
+        b = tv[1]
+        c = tv[2]
+        pts = self.pts
+        if a >= 0 and b >= 0 and c >= 0:
+            ax, ay = pts[a]
+            bx, by = pts[b]
+            cx, cy = pts[c]
+            adx = ax - px
+            ady = ay - py
+            bdx = bx - px
+            bdy = by - py
+            cdx = cx - px
+            cdy = cy - py
+            bdxcdy = bdx * cdy
+            cdxbdy = cdx * bdy
+            cdxady = cdx * ady
+            adxcdy = adx * cdy
+            adxbdy = adx * bdy
+            bdxady = bdx * ady
+            alift = adx * adx + ady * ady
+            blift = bdx * bdx + bdy * bdy
+            clift = cdx * cdx + cdy * cdy
+            det = (alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy)
+                   + clift * (adxbdy - bdxady))
+            permanent = ((abs(bdxcdy) + abs(cdxbdy)) * alift
+                         + (abs(cdxady) + abs(adxcdy)) * blift
+                         + (abs(adxbdy) + abs(bdxady)) * clift)
+            if permanent > _ICC_GUARD:
+                errbound = _ICC_ERR * permanent
+                if det > errbound:
+                    self.stat_incircle_fast += 1
+                    return True
+                if -det > errbound:
+                    self.stat_incircle_fast += 1
+                    return False
+            self.stat_incircle_exact += 1
+            return incircle(pts[a], pts[b], pts[c], (px, py)) > 0
+        # Ghost triangle: half-plane left of the hull edge plus the open edge.
+        u, v = self.ghost_edge(t)
+        pu = pts[u]
+        pv = pts[v]
+        ux, uy = pu
+        vx, vy = pv
+        detleft = (ux - px) * (vy - py)
+        detright = (uy - py) * (vx - px)
+        det = detleft - detright
+        detsum = abs(detleft) + abs(detright)
+        if detsum > _CCW_GUARD:
+            errbound = _CCW_ERR * detsum
+            if det > errbound:
+                self.stat_orient_fast += 1
+                return True
+            if -det > errbound:
+                self.stat_orient_fast += 1
+                return False
+        self.stat_orient_exact += 1
+        o = orient2d(pu, pv, (px, py))
+        if o > 0:
+            return True
+        if o < 0:
+            return False
+        return (
+            min(ux, vx) <= px <= max(ux, vx)
+            and min(uy, vy) <= py <= max(uy, vy)
+            and (px, py) != pu and (px, py) != pv
+        )
+
+    def _in_disk_any(self, t: int, p: Tuple[float, float]) -> bool:
+        if self._fast:
+            return self._in_disk_fast(t, p[0], p[1])
+        return self._in_disk(t, p)
 
     # ------------------------------------------------------------------
     # Point location
@@ -165,22 +406,39 @@ class Triangulation:
         """Return a triangle whose closed region contains ``p``.
 
         For ``p`` outside the hull this is a ghost triangle whose
-        half-plane contains it.  Uses a straight walk with random edge
-        tie-breaking; falls back to exhaustive scan after a step cap (can
-        only trigger on adversarial degeneracies).
+        half-plane contains it.  Uses a straight walk with pseudo-random
+        edge tie-breaking, seeded from ``hint``, the last touched
+        triangle, or (when walks have been running long) the vertex
+        grid; falls back to exhaustive scan after a step cap (can only
+        trigger on adversarial degeneracies).
         """
         if self.n_live_triangles == 0:
             raise TriangulationError("empty triangulation")
-        t = hint if hint >= 0 and self.tri_v[hint] is not None else self._last_tri
-        if t < 0 or self.tri_v[t] is None:
-            t = next(iter(self.live_triangles()))
+        if self._fast:
+            return self._locate_fast(p, hint)
+        return self._locate_ref(p, hint)
+
+    def _walk_start(self, px: float, py: float, hint: int) -> int:
+        tri_v = self.tri_v
+        t = hint if hint >= 0 and tri_v[hint] is not None else -1
+        if t < 0:
+            if self._grid is not None and self._walk_ema > _GRID_EMA_USE:
+                t = self._grid_start(px, py)
+            if t < 0:
+                t = self._last_tri
+            if t < 0 or tri_v[t] is None:
+                t = next(iter(self.live_triangles()))
         if self.is_ghost(t):
             # step into the real triangle across the hull edge
             u, v = self.ghost_edge(t)
             k = self._edge_index(t, u, v)
             nb = self.tri_n[t][k]
             t = nb if nb >= 0 else t
+        return t
 
+    def _locate_ref(self, p: Tuple[float, float], hint: int) -> int:
+        """Scalar-predicate walk (the reference / seed hot path)."""
+        t = self._walk_start(p[0], p[1], hint)
         max_steps = 4 * (self.n_live_triangles + 8)
         steps = 0
         prev = -1
@@ -191,14 +449,15 @@ class Triangulation:
                 u, v = self.ghost_edge(t)
                 if orient2d(self.pts[u], self.pts[v], p) >= 0:
                     self._last_tri = t
+                    self._note_walk(steps)
                     return t
                 # p visible from a different hull edge: walk along the hull.
                 # Move to the next ghost sharing vertex v or u.
                 tv = self.tri_v[t]
                 g = tv.index(GHOST)
-                nxt = self.tri_n[t][(g + 1) % 3]  # neighbour across (v, G)
+                nxt = self.tri_n[t][g - 2]  # neighbour across (v, G)
                 if nxt == prev:
-                    nxt = self.tri_n[t][(g + 2) % 3]
+                    nxt = self.tri_n[t][g - 1]
                 prev, t = t, nxt
                 continue
             moved = False
@@ -218,14 +477,107 @@ class Triangulation:
                     break
             if not moved:
                 self._last_tri = t
+                self._note_walk(steps)
                 return t
-        # Fallback: exhaustive containment scan (exact).
+        self._note_walk(steps)
+        return self._locate_fallback(p)
+
+    def _locate_fast(self, p: Tuple[float, float], hint: int) -> int:
+        """Walk with the orientation filter inlined (exact escalation)."""
+        px, py = p
+        t = self._walk_start(px, py, hint)
+        tri_v = self.tri_v
+        tri_n = self.tri_n
+        pts = self.pts
+        max_steps = 4 * (self.n_live_triangles + 8)
+        steps = 0
+        prev = -1
+        lcg = self._lcg
+        n_fast = 0
+        result = -1
+        while steps < max_steps:
+            steps += 1
+            tv = tri_v[t]
+            if tv[0] < 0 or tv[1] < 0 or tv[2] < 0:
+                # Ghost triangle: is p in (or on) its half-plane?
+                g = 0 if tv[0] < 0 else (1 if tv[1] < 0 else 2)
+                u = tv[g - 2]
+                v = tv[g - 1]
+                ux, uy = pts[u]
+                vx, vy = pts[v]
+                detleft = (ux - px) * (vy - py)
+                detright = (uy - py) * (vx - px)
+                det = detleft - detright
+                detsum = abs(detleft) + abs(detright)
+                if detsum > _CCW_GUARD and (
+                        det > _CCW_ERR * detsum or -det > _CCW_ERR * detsum):
+                    n_fast += 1
+                    inside = det > 0.0
+                else:
+                    self.stat_orient_exact += 1
+                    inside = orient2d((ux, uy), (vx, vy), p) >= 0
+                if inside:
+                    result = t
+                    break
+                nxt = tri_n[t][g - 2]  # neighbour across (v, G)
+                if nxt == prev:
+                    nxt = tri_n[t][g - 1]
+                prev, t = t, nxt
+                continue
+            moved = False
+            lcg = (lcg * 1103515245 + 12345) & 0x7FFFFFFF
+            k0 = lcg % 3
+            tn = tri_n[t]
+            for dk in range(3):
+                k = k0 + dk
+                if k > 2:
+                    k -= 3
+                nb = tn[k]
+                if nb == prev:
+                    continue
+                u = tv[k - 2]
+                v = tv[k - 1]
+                ux, uy = pts[u]
+                vx, vy = pts[v]
+                detleft = (ux - px) * (vy - py)
+                detright = (uy - py) * (vx - px)
+                det = detleft - detright
+                detsum = abs(detleft) + abs(detright)
+                if detsum > _CCW_GUARD:
+                    errbound = _CCW_ERR * detsum
+                    if det > errbound:
+                        n_fast += 1
+                        continue          # p weakly left: not through here
+                    if -det > errbound:
+                        n_fast += 1
+                        prev, t = t, nb   # certified right of u->v: cross
+                        moved = True
+                        break
+                self.stat_orient_exact += 1
+                if orient2d((ux, uy), (vx, vy), p) < 0:
+                    prev, t = t, nb
+                    moved = True
+                    break
+            if not moved:
+                result = t
+                break
+        self._lcg = lcg
+        self.stat_orient_fast += n_fast
+        self._note_walk(steps)
+        if result >= 0:
+            self._last_tri = result
+            return result
+        return self._locate_fallback(p)
+
+    def _locate_fallback(self, p: Tuple[float, float]) -> int:
+        """Exhaustive exact containment scan (adversarial degeneracies)."""
+        self.stat_brute_locates += 1
         for t in self.live_triangles():
             if self.is_ghost(t):
                 continue
             tv = self.tri_v[t]
             if all(
-                orient2d(self.pts[tv[(k + 1) % 3]], self.pts[tv[(k + 2) % 3]], p) >= 0
+                orient2d(self.pts[tv[k - 2]], self.pts[tv[k - 1]], p) >= 0
                 for k in range(3)
             ):
                 self._last_tri = t
@@ -239,7 +591,7 @@ class Triangulation:
     def find_vertex_at(self, p: Tuple[float, float], t: int) -> Optional[int]:
         """Vertex of triangle ``t`` exactly coincident with ``p``, if any."""
         for v in self.tri_v[t]:
-            if v != GHOST and tuple(self.pts[v]) == (p[0], p[1]):
+            if v != GHOST and self.pts[v] == (p[0], p[1]):
                 return v
         return None
 
@@ -257,7 +609,7 @@ class Triangulation:
         triangle + three ghosts; collinear prefixes are buffered.
         """
         p = (float(x), float(y))
-        if not (np.isfinite(p[0]) and np.isfinite(p[1])):
+        if not (math.isfinite(p[0]) and math.isfinite(p[1])):
             raise ValueError("non-finite coordinates")
         self.last_created = []
         self.last_removed = []
@@ -265,14 +617,17 @@ class Triangulation:
         if self.n_live_triangles == 0:
             return self._bootstrap_insert(p, on_duplicate)
 
+        if self._fast:
+            r = self._insert_fast(p[0], p[1], hint)
+            if r >= 0:
+                return r
+            dup = -2 - r
+            if on_duplicate == "raise":
+                raise TriangulationError(f"duplicate point {p}")
+            return dup
+
         t0 = self.locate(p, hint)
         dup = self.find_vertex_at(p, t0)
-        if dup is None and not self.is_ghost(t0):
-            # p may coincide with a vertex of a neighbouring triangle when it
-            # sits exactly on an edge of t0; check edge endpoints too.
-            for v in self.tri_v[t0]:
-                if v != GHOST and tuple(self.pts[v]) == p:
-                    dup = v
         if dup is not None:
             if on_duplicate == "raise":
                 raise TriangulationError(f"duplicate point {p}")
@@ -281,7 +636,307 @@ class Triangulation:
         vid = len(self.pts)
         self.pts.append(p)
         self.vertex_tri.append(-1)
+        self.stat_inserts += 1
         self._insert_into_cavity(vid, t0)
+        return vid
+
+    def _insert_fast(self, px: float, py: float, hint: int) -> int:
+        """Fused fast-path insertion: walk, duplicate check, cavity carve
+        and retriangulation in one frame with every predicate's filter
+        stage inlined.
+
+        Decision-for-decision equivalent to ``locate`` +
+        ``find_vertex_at`` + ``_insert_into_cavity`` — certified filter
+        signs are exact signs, and inconclusive ones escalate to the
+        exact predicates.  Returns the new vertex id, or ``-2 - v`` when
+        the point duplicates existing vertex ``v``.
+        """
+        tri_v = self.tri_v
+        tri_n = self.tri_n
+        pts = self.pts
+        # ---- walking point location (inlined orientation filter) ----
+        t = hint if hint >= 0 and tri_v[hint] is not None else -1
+        if t < 0:
+            if self._grid is not None and self._walk_ema > _GRID_EMA_USE:
+                t = self._grid_start(px, py)
+            if t < 0:
+                t = self._last_tri
+            if t < 0 or tri_v[t] is None:
+                t = next(iter(self.live_triangles()))
+        tv = tri_v[t]
+        if tv[0] < 0 or tv[1] < 0 or tv[2] < 0:
+            # Ghost start: step across its real edge into the hull.
+            g = 0 if tv[0] < 0 else (1 if tv[1] < 0 else 2)
+            nb = tri_n[t][g]
+            if nb >= 0:
+                t = nb
+        max_steps = 4 * (self.n_live_triangles + 8)
+        steps = 0
+        prev = -1
+        # One pseudo-random starting-edge draw per insertion, rotated each
+        # step — enough stochasticity to break degenerate walk cycles
+        # (and the exhaustive fallback guards the rest), without an LCG
+        # step per triangle.
+        lcg = (self._lcg * 1103515245 + 12345) & 0x7FFFFFFF
+        self._lcg = lcg
+        k0 = lcg % 3
+        n_ofast = 0
+        n_oexact = 0
+        t0 = -1
+        # certified == p is *strictly* inside t0 (strictly inside a ghost
+        # half-plane), which already implies cavity membership — the
+        # circumdisk pre-check can be skipped.
+        certified = False
+        while steps < max_steps:
+            steps += 1
+            tv = tri_v[t]
+            if tv[0] < 0 or tv[1] < 0 or tv[2] < 0:
+                # Ghost: accept if p is in its closed half-plane, else
+                # continue along the hull.
+                g = 0 if tv[0] < 0 else (1 if tv[1] < 0 else 2)
+                pu = pts[tv[g - 2]]
+                pv = pts[tv[g - 1]]
+                ux = pu[0]
+                uy = pu[1]
+                detleft = (ux - px) * (pv[1] - py)
+                detright = (uy - py) * (pv[0] - px)
+                det = detleft - detright
+                detsum = abs(detleft) + abs(detright)
+                if detsum > _CCW_GUARD:
+                    errbound = _CCW_ERR * detsum
+                    if det > errbound:
+                        n_ofast += 1
+                        t0 = t
+                        certified = True
+                        break
+                    if -det > errbound:
+                        n_ofast += 1
+                        nxt = tri_n[t][g - 2]
+                        if nxt == prev:
+                            nxt = tri_n[t][g - 1]
+                        prev = t
+                        t = nxt
+                        continue
+                n_oexact += 1
+                o = orient2d(pu, pv, (px, py))
+                if o > 0:
+                    t0 = t
+                    certified = True
+                    break
+                if o == 0:
+                    t0 = t
+                    break
+                nxt = tri_n[t][g - 2]
+                if nxt == prev:
+                    nxt = tri_n[t][g - 1]
+                prev = t
+                t = nxt
+                continue
+            k0 += 1
+            if k0 > 2:
+                k0 = 0
+            tn = tri_n[t]
+            moved = False
+            strict = True
+            for dk in (0, 1, 2):
+                k = k0 + dk
+                if k > 2:
+                    k -= 3
+                nb = tn[k]
+                if nb == prev:
+                    # Entered across this edge, so p is strictly on this
+                    # side of it — no need to re-test.
+                    continue
+                pu = pts[tv[k - 2]]
+                pv = pts[tv[k - 1]]
+                detleft = (pu[0] - px) * (pv[1] - py)
+                detright = (pu[1] - py) * (pv[0] - px)
+                det = detleft - detright
+                detsum = abs(detleft) + abs(detright)
+                if detsum > _CCW_GUARD:
+                    errbound = _CCW_ERR * detsum
+                    if det > errbound:
+                        n_ofast += 1
+                        continue
+                    if -det > errbound:
+                        n_ofast += 1
+                        prev = t
+                        t = nb
+                        moved = True
+                        break
+                n_oexact += 1
+                o = orient2d(pu, pv, (px, py))
+                if o < 0:
+                    prev = t
+                    t = nb
+                    moved = True
+                    break
+                if o == 0:
+                    strict = False
+            if not moved:
+                t0 = t
+                certified = strict
+                break
+        self.stat_orient_fast += n_ofast
+        self.stat_orient_exact += n_oexact
+        self._note_walk(steps)
+        if t0 < 0:
+            t0 = self._locate_fallback((px, py))
+            certified = False
+        # ---- duplicate check (vertices of the containing triangle) ----
+        for vtx in tri_v[t0]:
+            if vtx >= 0:
+                q = pts[vtx]
+                if q[0] == px and q[1] == py:
+                    self._last_tri = t0
+                    self.last_created = []
+                    self.last_removed = []
+                    return -2 - vtx
+        # ---- new vertex ----
+        vid = len(pts)
+        pts.append((px, py))
+        self.vertex_tri.append(-1)
+        self.stat_inserts += 1
+        if not certified and not self._in_disk_fast(t0, px, py):
+            # p on the boundary of t0: some adjacent circumdisk holds it.
+            found = -1
+            for k in (0, 1, 2):
+                nb = tri_n[t0][k]
+                if nb >= 0 and self._in_disk_fast(nb, px, py):
+                    found = nb
+                    break
+            if found < 0:
+                raise TriangulationError(
+                    f"insertion point {(px, py)} in no circumdisk (duplicate?)"
+                )
+            t0 = found
+        # ---- cavity carve (level BFS, inlined incircle filter) ----
+        constraints = self.constraints
+        cavity: Set[int] = {t0}
+        # seen = cavity plus rejected candidates, so a rejected triangle
+        # bordering two cavity triangles is tested once, not twice.
+        seen: Set[int] = {t0}
+        frontier = [t0]
+        blocked = False
+        n_ifast = 0
+        n_iexact = 0
+        while frontier:
+            cand: List[int] = []
+            if constraints:
+                for t in frontier:
+                    tv = tri_v[t]
+                    tn = tri_n[t]
+                    nb = tn[0]
+                    if nb >= 0 and nb not in seen:
+                        u = tv[1]
+                        v = tv[2]
+                        if (u >= 0 and v >= 0
+                                and ((u, v) if u < v else (v, u)) in constraints):
+                            blocked = True
+                        else:
+                            cand.append(nb)
+                    nb = tn[1]
+                    if nb >= 0 and nb not in seen:
+                        u = tv[2]
+                        v = tv[0]
+                        if (u >= 0 and v >= 0
+                                and ((u, v) if u < v else (v, u)) in constraints):
+                            blocked = True
+                        else:
+                            cand.append(nb)
+                    nb = tn[2]
+                    if nb >= 0 and nb not in seen:
+                        u = tv[0]
+                        v = tv[1]
+                        if (u >= 0 and v >= 0
+                                and ((u, v) if u < v else (v, u)) in constraints):
+                            blocked = True
+                        else:
+                            cand.append(nb)
+            else:
+                for t in frontier:
+                    tn = tri_n[t]
+                    nb = tn[0]
+                    if nb >= 0 and nb not in seen:
+                        cand.append(nb)
+                    nb = tn[1]
+                    if nb >= 0 and nb not in seen:
+                        cand.append(nb)
+                    nb = tn[2]
+                    if nb >= 0 and nb not in seen:
+                        cand.append(nb)
+            if not cand:
+                break
+            if len(cand) >= _BATCH_MIN:
+                frontier = self._expand_level_batch(cand, cavity, px, py)
+                seen.update(cand)
+                continue
+            frontier = []
+            for nb in cand:
+                if nb in seen:
+                    continue  # reached via a sibling this level
+                seen.add(nb)
+                tv = tri_v[nb]
+                a = tv[0]
+                b = tv[1]
+                c = tv[2]
+                if a < 0 or b < 0 or c < 0:
+                    if self._in_disk_fast(nb, px, py):
+                        cavity.add(nb)
+                        frontier.append(nb)
+                    continue
+                pa = pts[a]
+                pb = pts[b]
+                pc = pts[c]
+                adx = pa[0] - px
+                ady = pa[1] - py
+                bdx = pb[0] - px
+                bdy = pb[1] - py
+                cdx = pc[0] - px
+                cdy = pc[1] - py
+                bdxcdy = bdx * cdy
+                cdxbdy = cdx * bdy
+                cdxady = cdx * ady
+                adxcdy = adx * cdy
+                adxbdy = adx * bdy
+                bdxady = bdx * ady
+                alift = adx * adx + ady * ady
+                blift = bdx * bdx + bdy * bdy
+                clift = cdx * cdx + cdy * cdy
+                det = (alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy)
+                       + clift * (adxbdy - bdxady))
+                s = alift + blift + clift
+                if s > _ICC_S_GUARD:
+                    cheap = _ICC_CHEAP * s * s
+                    if det > cheap:
+                        n_ifast += 1
+                        cavity.add(nb)
+                        frontier.append(nb)
+                        continue
+                    if -det > cheap:
+                        n_ifast += 1
+                        continue
+                # Cheap certificate inconclusive: full Shewchuk filter.
+                permanent = ((abs(bdxcdy) + abs(cdxbdy)) * alift
+                             + (abs(cdxady) + abs(adxcdy)) * blift
+                             + (abs(adxbdy) + abs(bdxady)) * clift)
+                if permanent > _ICC_GUARD:
+                    errbound = _ICC_ERR * permanent
+                    if det > errbound:
+                        n_ifast += 1
+                        cavity.add(nb)
+                        frontier.append(nb)
+                        continue
+                    if -det > errbound:
+                        n_ifast += 1
+                        continue
+                n_iexact += 1
+                if incircle(pa, pb, pc, (px, py)) > 0:
+                    cavity.add(nb)
+                    frontier.append(nb)
+        self.stat_incircle_fast += n_ifast
+        self.stat_incircle_exact += n_iexact
+        self._retriangulate(vid, cavity, t0, blocked)
         return vid
 
     def _bootstrap_insert(self, p: Tuple[float, float], on_duplicate: str) -> int:
@@ -293,6 +948,7 @@ class Triangulation:
                 return i
         self.pts.append(p)
         self.vertex_tri.append(-1)
+        self.stat_inserts += 1
         if len(self.pts) < 3:
             return len(self.pts) - 1
         # Try to find a non-collinear triple including the newest point.
@@ -340,29 +996,16 @@ class Triangulation:
         self.last_created = [t, g0, g1, g2]
         self.last_removed = []
 
-    def _insert_into_cavity(self, vid: int, t0: int) -> None:
-        """Bowyer–Watson: carve the cavity of circumdisks containing the new
-        point and re-fan from it.  Never crosses constrained edges."""
-        p = self.pts[vid]
-        if not self._in_disk(t0, p):
-            # locate returned a triangle whose closed region holds p but p
-            # is on its boundary; at least one adjacent triangle's open
-            # disk must contain p. Search neighbours.
-            found = None
-            for k in range(3):
-                nb = self.tri_n[t0][k]
-                if nb >= 0 and self._in_disk(nb, p):
-                    found = nb
-                    break
-            if found is None:
-                raise TriangulationError(
-                    f"insertion point {p} in no circumdisk (duplicate?)"
-                )
-            t0 = found
-
+    # ------------------------------------------------------------------
+    # Cavity carving
+    # ------------------------------------------------------------------
+    def _carve_cavity_ref(self, p: Tuple[float, float], t0: int
+                          ) -> Tuple[Set[int], bool]:
+        """Circumdisk BFS with scalar robust predicates (reference)."""
         cavity: Set[int] = {t0}
         stack = [t0]
         blocked = False
+        constraints = self.constraints
         while stack:
             t = stack.pop()
             for k in range(3):
@@ -372,12 +1015,184 @@ class Triangulation:
                 u, v = self._edge(t, k)
                 if u != GHOST and v != GHOST:
                     key = (u, v) if u < v else (v, u)
-                    if key in self.constraints:
+                    if key in constraints:
                         blocked = True
                         continue
                 if self._in_disk(nb, p):
                     cavity.add(nb)
                     stack.append(nb)
+        return cavity, blocked
+
+    def _carve_cavity_fast(self, p: Tuple[float, float], t0: int
+                           ) -> Tuple[Set[int], bool]:
+        """Level-order circumdisk search with inlined filtered predicates.
+
+        Small frontiers use the scalar filter inline; frontiers of
+        :data:`_BATCH_MIN` or more candidates go through one vectorised
+        :func:`incircle_batch` call (refinement cavities on graded
+        meshes).  Membership decisions are identical to the reference:
+        the cavity is the constraint-respecting connected component of
+        triangles whose open circumdisk contains ``p``, independent of
+        traversal order.
+        """
+        tri_v = self.tri_v
+        tri_n = self.tri_n
+        pts = self.pts
+        constraints = self.constraints
+        px, py = p
+        cavity: Set[int] = {t0}
+        frontier = [t0]
+        blocked = False
+        n_icc_fast = 0
+        while frontier:
+            cand: List[int] = []
+            for t in frontier:
+                tv = tri_v[t]
+                tn = tri_n[t]
+                for k in range(3):
+                    nb = tn[k]
+                    if nb < 0 or nb in cavity:
+                        continue
+                    if constraints:
+                        u = tv[k - 2]
+                        v = tv[k - 1]
+                        if u >= 0 and v >= 0:
+                            key = (u, v) if u < v else (v, u)
+                            if key in constraints:
+                                blocked = True
+                                continue
+                    cand.append(nb)
+            if not cand:
+                break
+            if len(cand) >= _BATCH_MIN:
+                frontier = self._expand_level_batch(cand, cavity, px, py)
+                continue
+            frontier = []
+            for nb in cand:
+                if nb in cavity:
+                    continue  # added via a sibling this level
+                tv = tri_v[nb]
+                a = tv[0]
+                b = tv[1]
+                c = tv[2]
+                if a < 0 or b < 0 or c < 0:
+                    if self._in_disk_fast(nb, px, py):
+                        cavity.add(nb)
+                        frontier.append(nb)
+                    continue
+                # Inlined incircle filter (matches the scalar predicate's
+                # first stage); only inconclusive signs leave this loop.
+                ax, ay = pts[a]
+                bx, by = pts[b]
+                cx, cy = pts[c]
+                adx = ax - px
+                ady = ay - py
+                bdx = bx - px
+                bdy = by - py
+                cdx = cx - px
+                cdy = cy - py
+                bdxcdy = bdx * cdy
+                cdxbdy = cdx * bdy
+                cdxady = cdx * ady
+                adxcdy = adx * cdy
+                adxbdy = adx * bdy
+                bdxady = bdx * ady
+                alift = adx * adx + ady * ady
+                blift = bdx * bdx + bdy * bdy
+                clift = cdx * cdx + cdy * cdy
+                det = (alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy)
+                       + clift * (adxbdy - bdxady))
+                permanent = ((abs(bdxcdy) + abs(cdxbdy)) * alift
+                             + (abs(cdxady) + abs(adxcdy)) * blift
+                             + (abs(adxbdy) + abs(bdxady)) * clift)
+                if permanent > _ICC_GUARD:
+                    errbound = _ICC_ERR * permanent
+                    if det > errbound:
+                        n_icc_fast += 1
+                        cavity.add(nb)
+                        frontier.append(nb)
+                        continue
+                    if -det > errbound:
+                        n_icc_fast += 1
+                        continue
+                self.stat_incircle_exact += 1
+                if incircle(pts[a], pts[b], pts[c], (px, py)) > 0:
+                    cavity.add(nb)
+                    frontier.append(nb)
+        self.stat_incircle_fast += n_icc_fast
+        return cavity, blocked
+
+    def _expand_level_batch(self, cand: List[int], cavity: Set[int],
+                            px: float, py: float) -> List[int]:
+        """Batched in-disk test of one BFS level; returns accepted tris."""
+        tri_v = self.tri_v
+        pts = self.pts
+        reals: List[int] = []
+        coords: List[Tuple[float, float]] = []
+        nxt: List[int] = []
+        for nb in cand:
+            tv = tri_v[nb]
+            if tv[0] < 0 or tv[1] < 0 or tv[2] < 0:
+                # Ghost candidates stay scalar (cheap half-plane test).
+                if nb not in cavity and self._in_disk_fast(nb, px, py):
+                    cavity.add(nb)
+                    nxt.append(nb)
+            elif nb not in cavity:
+                reals.append(nb)
+                coords.append(pts[tv[0]])
+                coords.append(pts[tv[1]])
+                coords.append(pts[tv[2]])
+        if reals:
+            before = batch_exact_counts()["incircle"]
+            abc = np.asarray(coords, dtype=np.float64).reshape(-1, 3, 2)
+            signs = incircle_batch(abc[:, 0], abc[:, 1], abc[:, 2],
+                                   np.array((px, py)))
+            n_exact = batch_exact_counts()["incircle"] - before
+            self.stat_batch_calls += 1
+            self.stat_batch_entries += len(reals)
+            self.stat_incircle_exact += n_exact
+            self.stat_incircle_fast += len(reals) - n_exact
+            for nb, s in zip(reals, signs.tolist()):
+                if s > 0 and nb not in cavity:
+                    cavity.add(nb)
+                    nxt.append(nb)
+        return nxt
+
+    def _insert_into_cavity(self, vid: int, t0: int) -> None:
+        """Bowyer–Watson: carve the cavity of circumdisks containing the new
+        point and re-fan from it.  Never crosses constrained edges."""
+        p = self.pts[vid]
+        if not self._in_disk_any(t0, p):
+            # locate returned a triangle whose closed region holds p but p
+            # is on its boundary; at least one adjacent triangle's open
+            # disk must contain p. Search neighbours.
+            found = None
+            for k in range(3):
+                nb = self.tri_n[t0][k]
+                if nb >= 0 and self._in_disk_any(nb, p):
+                    found = nb
+                    break
+            if found is None:
+                raise TriangulationError(
+                    f"insertion point {p} in no circumdisk (duplicate?)"
+                )
+            t0 = found
+
+        if self._fast:
+            cavity, blocked = self._carve_cavity_fast(p, t0)
+        else:
+            cavity, blocked = self._carve_cavity_ref(p, t0)
+        self._retriangulate(vid, cavity, t0, blocked)
+
+    def _retriangulate(self, vid: int, cavity: Set[int], t0: int,
+                       blocked: bool) -> None:
+        """Replace ``cavity`` by the star fan of ``vid`` (shared tail of
+        the fast and reference insertion paths)."""
+        tri_v = self.tri_v
+        tri_n = self.tri_n
+        n_cavity = len(cavity)
+        self.stat_cavity_tris += n_cavity
+        self.stat_cavity_hist[n_cavity if n_cavity < 31 else 31] += 1
 
         # Constrained-Delaunay visibility pruning: with spiky constrained
         # boundaries the circumdisk BFS can wrap AROUND a constrained edge
@@ -386,10 +1201,11 @@ class Triangulation:
         # retriangulation.  Detect the configuration and prune cavity
         # triangles whose centroid is not visible from p.
         if self.constraints:
+            p = self.pts[vid]
             wrapped_edge = False
             for t in cavity:
                 for k in range(3):
-                    nb = self.tri_n[t][k]
+                    nb = tri_n[t][k]
                     if nb not in cavity:
                         continue
                     u, v = self._edge(t, k)
@@ -404,48 +1220,97 @@ class Triangulation:
             if wrapped_edge:
                 cavity = self._prune_cavity_visibility(cavity, t0, p)
                 blocked = True
+                n_cavity = len(cavity)
 
-        # Collect directed boundary edges (u, v) with their outside triangle.
-        boundary: List[Tuple[int, int, int, int]] = []  # (u, v, nb, nb_edge_k)
+        # Walk the cavity boundary in ring order, creating the fan as we
+        # go: fan triangle [u, v, vid] has edge 0 = (v, vid) bordering
+        # the NEXT fan triangle and edge 1 = (vid, u) bordering the
+        # PREVIOUS one, so creating in ring order links the fan without
+        # any vertex maps or second pass.  New slots come from the free
+        # list (cavity slots are freed only afterwards, so ids never
+        # collide with live ones).
+        vertex_tri = self.vertex_tri
+        free = self._free
+        new_tris: List[int] = []
+        # Any cavity edge whose neighbour survives starts the ring.
+        t = k = -1
         for t in cavity:
-            for k in range(3):
-                nb = self.tri_n[t][k]
-                if nb in cavity:
-                    continue
-                u, v = self._edge(t, k)
-                nbk = self._edge_index(nb, v, u) if nb >= 0 else -1
-                boundary.append((u, v, nb, nbk))
+            tn = tri_n[t]
+            if tn[0] not in cavity:
+                k = 0
+                break
+            if tn[1] not in cavity:
+                k = 1
+                break
+            if tn[2] not in cavity:
+                k = 2
+                break
+        if k < 0:
+            raise TriangulationError("cavity has no boundary")
+        start_t = t
+        start_k = k
+        first_nt = -1
+        prev_nt = -1
+        while True:
+            tv = tri_v[t]
+            u = tv[k - 2]
+            v = tv[k - 1]
+            nb = tri_n[t][k]
+            if free:
+                nt = free.pop()
+                tri_v[nt] = [u, v, vid]
+                tri_n[nt] = [-1, prev_nt, nb]
+            else:
+                nt = len(tri_v)
+                tri_v.append([u, v, vid])
+                tri_n.append([-1, prev_nt, nb])
+            if nb >= 0:
+                # Directed edge (v, u) of nb: v appears exactly once there.
+                nv = tri_v[nb]
+                tri_n[nb][0 if nv[1] == v else (1 if nv[2] == v else 2)] = nt
+            if u >= 0:
+                vertex_tri[u] = nt
+            if prev_nt >= 0:
+                tri_n[prev_nt][0] = nt
+            else:
+                first_nt = nt
+            prev_nt = nt
+            new_tris.append(nt)
+            # Advance to the boundary edge starting at v: pivot around v
+            # through cavity triangles until an edge leaves the cavity.
+            j = k + 1
+            if j > 2:
+                j = 0
+            while True:
+                nb2 = tri_n[t][j]
+                if nb2 not in cavity:
+                    break
+                t = nb2
+                tvv = tri_v[t]
+                # Edge (v, .) of t, i.e. the index j with tvv[j-2] == v.
+                j = (0 if tvv[0] == v else (1 if tvv[1] == v else 2)) - 1
+                if j < 0:
+                    j = 2
+            k = j
+            if t == start_t and k == start_k:
+                break
+        tri_n[prev_nt][0] = first_nt
+        tri_n[first_nt][1] = prev_nt
 
         self.last_removed = list(cavity)
         for t in cavity:
-            self._kill_triangle(t)
-
-        start_map: Dict[int, int] = {}
-        end_map: Dict[int, int] = {}
-        new_tris: List[Tuple[int, int, int]] = []
-        for u, v, nb, nbk in boundary:
-            t = self._new_triangle(u, v, vid)
-            if nb >= 0:
-                self._set_mutual(t, 2, nb, nbk)  # edge 2 of [u,v,p] is (u,v)
-            start_map[u] = t
-            end_map[v] = t
-            new_tris.append(t)
-        # Link the fan: [u,v,p] edge0 = (v,p) borders triangle starting at v;
-        # edge1 = (p,u) borders triangle ending at u.
-        for t in new_tris:
-            u, v, _ = self.tri_v[t]
-            t_next = start_map.get(v)
-            t_prev = end_map.get(u)
-            if t_next is None or t_prev is None:
-                raise TriangulationError("open cavity boundary")
-            self.tri_n[t][0] = t_next
-            self.tri_n[t][1] = t_prev
-        self._last_tri = new_tris[0]
+            tri_v[t] = None
+            tri_n[t] = None
+        free.extend(cavity)
+        self.n_live_triangles += len(new_tris) - n_cavity
+        self._last_tri = first_nt
         self.last_created = new_tris
         # Pick a real incident triangle as the vertex hint when available.
+        vertex_tri[vid] = new_tris[0]
         for t in new_tris:
-            if not self.is_ghost(t):
-                self.vertex_tri[vid] = t
+            tv = tri_v[t]
+            if tv[0] >= 0 and tv[1] >= 0 and tv[2] >= 0:
+                vertex_tri[vid] = t
                 break
         if blocked:
             # A constraint clipped the cavity: the star fan is not
@@ -469,7 +1334,7 @@ class Triangulation:
         for t in cavity:
             tv = self.tri_v[t]
             for k in range(3):
-                u, v = tv[(k + 1) % 3], tv[(k + 2) % 3]
+                u, v = tv[k - 2], tv[k - 1]
                 if u == GHOST or v == GHOST:
                     continue
                 key = (u, v) if u < v else (v, u)
@@ -528,7 +1393,7 @@ class Triangulation:
             if tv is None or GHOST in tv:
                 continue
             i = tv.index(vid)
-            queue.append((tv[(i + 1) % 3], tv[(i + 2) % 3]))
+            queue.append((tv[i - 2], tv[i - 1]))
         ops = 0
         while queue:
             ops += 1
@@ -589,12 +1454,11 @@ class Triangulation:
             raise TriangulationError("cannot flip a constrained edge")
 
         # Outer neighbours before rewiring.
-        n_uv_a = self.tri_n[t1][(k1 + 2) % 3]  # across (a, u)... see below
         # Edges of t1 = [.., a at k1], directed edges: k1:(u,v), k1+1:(v,a), k1+2:(a,u)
-        n_va = self.tri_n[t1][(k1 + 1) % 3]    # across (v, a)
-        n_au = self.tri_n[t1][(k1 + 2) % 3]    # across (a, u)
-        n_ub = self.tri_n[t2][(k2 + 1) % 3]    # across (u, b)
-        n_bv = self.tri_n[t2][(k2 + 2) % 3]    # across (b, v)
+        n_va = self.tri_n[t1][k1 - 2]    # across (v, a)
+        n_au = self.tri_n[t1][k1 - 1]    # across (a, u)
+        n_ub = self.tri_n[t2][k2 - 2]    # across (u, b)
+        n_bv = self.tri_n[t2][k2 - 1]    # across (b, v)
 
         # New triangles: t1 <- [a, u, b], t2 <- [b, v, a]; shared edge (a, b)?
         # t1=[a,u,b]: edges: 0:(u,b) -> n_ub ; 1:(b,a) -> t2 ; 2:(a,u) -> n_au
@@ -618,6 +1482,7 @@ class Triangulation:
         for vv in (b, v, a):
             if vv != GHOST:
                 self.vertex_tri[vv] = t2
+        self.stat_flips += 1
         return t1, t2
 
     def edge_is_flippable(self, t1: int, k1: int) -> bool:
@@ -677,7 +1542,7 @@ class Triangulation:
         cur = t0
         while True:
             i = self.tri_v[cur].index(v)
-            nxt = self.tri_n[cur][(i + 1) % 3]
+            nxt = self.tri_n[cur][i - 2]
             if nxt < 0 or nxt in seen:
                 break
             seen.add(nxt)
@@ -686,7 +1551,7 @@ class Triangulation:
         cur = t0
         while True:
             i = self.tri_v[cur].index(v)
-            nxt = self.tri_n[cur][(i + 2) % 3]
+            nxt = self.tri_n[cur][i - 1]
             if nxt < 0 or nxt in seen:
                 break
             seen.add(nxt)
@@ -755,26 +1620,31 @@ class Triangulation:
                     raise TriangulationError(f"asymmetric adjacency {t}<->{nb}")
 
 
-def triangulate(points: np.ndarray, *, assume_sorted: bool = False) -> Triangulation:
+def triangulate(points: np.ndarray, *, assume_sorted: bool = False,
+                seed: int = 0xC0FFEE,
+                fast_predicates: bool = True) -> Triangulation:
     """Delaunay-triangulate a point set incrementally.
 
     ``assume_sorted`` mirrors the paper's Triangle optimisation (Section
     III): when the caller guarantees x-sorted input the kernel inserts in
     the given order, which keeps walks short (each point lands next to its
-    predecessor).  Otherwise points are inserted in a shuffled order for
-    expected-case robustness.
+    predecessor).  Otherwise points are inserted in BRIO order derived
+    from ``seed`` for expected-case robustness.  Identical inputs and
+    seed produce byte-identical triangulations.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must be (n, 2)")
-    tri, _ = _triangulate_with_map(points, assume_sorted=assume_sorted)
+    tri, _ = _triangulate_with_map(points, assume_sorted=assume_sorted,
+                                   seed=seed, fast_predicates=fast_predicates)
     return tri
 
 
 def _brio_order(points: np.ndarray, seed: int = 0xC0FFEE) -> np.ndarray:
     """Biased randomised insertion order: random rounds of doubling size,
     each round x-sorted — keeps the walk from the previous insert short
-    (expected O(1)) while keeping cavity sizes bounded in expectation."""
+    (expected O(1)) while keeping cavity sizes bounded in expectation.
+    The shuffle is fully determined by ``seed``."""
     rng = np.random.default_rng(seed)
     perm = rng.permutation(len(points))
     chunks = []
@@ -798,27 +1668,57 @@ def _brio_order(points: np.ndarray, seed: int = 0xC0FFEE) -> np.ndarray:
     return np.concatenate(chunks) if chunks else np.arange(0)
 
 
-def _triangulate_with_map(points: np.ndarray, *, assume_sorted: bool
+def _triangulate_with_map(points: np.ndarray, *, assume_sorted: bool,
+                          seed: int = 0xC0FFEE,
+                          fast_predicates: bool = True,
                           ) -> Tuple[Triangulation, Dict[int, int]]:
-    tri = Triangulation()
+    if len(points) and not np.isfinite(points).all():
+        raise ValueError("non-finite coordinates")
+    tri = Triangulation(seed=seed, fast_predicates=fast_predicates)
     if assume_sorted:
-        order = np.arange(len(points))
+        order = range(len(points))
     else:
-        order = _brio_order(points)
+        order = _brio_order(points, seed=seed).tolist()
+    coords = points.tolist()  # plain floats: much cheaper to insert
     inserted: Dict[int, int] = {}
-    for i in order:
-        inserted[int(i)] = tri.insert_point(points[i, 0], points[i, 1])
+    insert = tri.insert_point
+    fast_insert = tri._insert_fast if fast_predicates else None
+    # The bulk loop allocates ~a dozen small objects per insertion and
+    # keeps them all reachable; generational GC scans buy nothing here, so
+    # pause collection for the loop.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        it = iter(order)
+        for i in it:
+            i = int(i)
+            x, y = coords[i]
+            inserted[i] = insert(x, y)
+            if fast_insert is not None and tri.n_live_triangles:
+                break
+        for i in it:
+            i = int(i)
+            x, y = coords[i]
+            # Bulk path: coordinates validated above, so skip the
+            # per-point wrapper (duplicates map to the existing vertex).
+            r = fast_insert(x, y, -1)
+            inserted[i] = r if r >= 0 else -2 - r
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return tri, inserted
 
 
-def delaunay_mesh(points: np.ndarray, *, assume_sorted: bool = False) -> TriMesh:
+def delaunay_mesh(points: np.ndarray, *, assume_sorted: bool = False,
+                  seed: int = 0xC0FFEE) -> TriMesh:
     """Delaunay triangulation as a :class:`TriMesh` indexed like ``points``.
 
     Duplicate input points map to the first occurrence, so triangle indices
     always refer to the caller's array.
     """
     points = np.asarray(points, dtype=np.float64)
-    tri, inserted = _triangulate_with_map(points, assume_sorted=assume_sorted)
+    tri, inserted = _triangulate_with_map(points, assume_sorted=assume_sorted,
+                                          seed=seed)
     # kernel vertex id -> smallest input index that produced it
     inv: Dict[int, int] = {}
     for i, k in inserted.items():

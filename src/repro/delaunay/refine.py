@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..geometry.primitives import circumcenter, distance, distance_sq
+from ..runtime.counters import current as counters_current
 from .constrained import carve, triangulate_pslg
 from .kernel import GHOST, Triangulation, TriangulationError
 from .mesh import TriMesh
@@ -357,6 +358,13 @@ class Refiner:
             if idle_rescans > 10_000:
                 raise RefinementError("refinement rescan did not converge")
             work.extend(fresh)
+
+        sink = counters_current()
+        if sink is not None:
+            sink.absorb_kernel(self.tri)
+            sink.incr("steiner_points", self.steiner_count)
+            if self.locked_skips:
+                sink.incr("locked_segment_skips", self.locked_skips)
 
     def _split_segment(self, u: int, v: int) -> int:
         pu, pv = self.tri.pts[u], self.tri.pts[v]

@@ -36,6 +36,11 @@ __all__ = [
     "ORIENT_CCW",
     "ORIENT_CW",
     "ORIENT_COLLINEAR",
+    "ORIENT_ERR_BOUND",
+    "INCIRCLE_ERR_BOUND",
+    "ORIENT_UNDERFLOW_GUARD",
+    "INCIRCLE_UNDERFLOW_GUARD",
+    "batch_exact_counts",
 ]
 
 # Sign conventions (matching Shewchuk's Triangle):
@@ -59,6 +64,25 @@ _ICC_ERR_BOUND = (10.0 + 96.0 * _EPS) * _EPS
 # escalate to the exact path instead.
 _ORIENT_UNDERFLOW_GUARD = 1e-280
 _ICC_UNDERFLOW_GUARD = 1e-250
+
+# Public aliases so callers that inline the filter stage (the Delaunay
+# kernel's hot loops) share one source of truth for the bounds.
+ORIENT_ERR_BOUND = _CCW_ERR_BOUND
+INCIRCLE_ERR_BOUND = _ICC_ERR_BOUND
+ORIENT_UNDERFLOW_GUARD = _ORIENT_UNDERFLOW_GUARD
+INCIRCLE_UNDERFLOW_GUARD = _ICC_UNDERFLOW_GUARD
+
+# Escalation tallies for the batch predicates: entries whose filter stage
+# was inconclusive and fell through to exact rational arithmetic.  Callers
+# snapshot around a batch call to attribute escalations (the counters
+# layer reports the rate); plain ints, so the cost is one addition per
+# batch call.
+_batch_exact = {"orient2d": 0, "incircle": 0}
+
+
+def batch_exact_counts() -> dict:
+    """Running totals of exact-path escalations inside the batch predicates."""
+    return dict(_batch_exact)
 
 
 def _orient2d_exact(ax, ay, bx, by, cx, cy) -> int:
@@ -150,6 +174,7 @@ def orient2d_batch(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
     out[certified & (det > 0)] = ORIENT_CCW
     out[certified & (det < 0)] = ORIENT_CW
     uncertain = np.flatnonzero(~certified & ~both_zero)
+    _batch_exact["orient2d"] += len(uncertain)
     for i in uncertain:
         out[i] = _orient2d_exact(
             a[i, 0], a[i, 1], b[i, 0], b[i, 1], c[i, 0], c[i, 1]
@@ -273,6 +298,7 @@ def incircle_batch(
     out[certified & (det > 0)] = 1
     out[certified & (det < 0)] = -1
     uncertain = np.flatnonzero(~certified)
+    _batch_exact["incircle"] += len(uncertain)
     for i in uncertain:
         out[i] = _incircle_exact(
             a[i, 0], a[i, 1], b[i, 0], b[i, 1],

@@ -2,6 +2,7 @@
 work-stealing load balancer, and the discrete-event cluster simulator."""
 
 from .comm import ANY_SOURCE, ANY_TAG, CommError, Message, ThreadComm, run_spmd
+from .counters import Counters, Histogram, KernelCounters, current, phase, use_counters
 from .loadbalance import DistributedWorker, WorkItem, WorkQueue
 from .rma import Window
 from .simulator import (
@@ -17,7 +18,10 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "CommError",
+    "Counters",
     "DistributedWorker",
+    "Histogram",
+    "KernelCounters",
     "Message",
     "NetworkModel",
     "SimConfig",
@@ -27,7 +31,10 @@ __all__ = [
     "Window",
     "WorkItem",
     "WorkQueue",
+    "current",
+    "phase",
     "run_spmd",
     "simulate",
     "strong_scaling",
+    "use_counters",
 ]

@@ -1,0 +1,315 @@
+"""Pipeline observability: phase timers, kernel counters, histograms.
+
+Every performance claim in this reproduction funnels through the
+incremental Delaunay kernel, so regressions need to be *visible* before
+they need to be fixed.  This module is the single place where the hot
+paths report what they did:
+
+* **Phase wall time** — named stages of :func:`repro.core.pipeline.
+  generate_mesh` (and anything else that opens a :func:`phase` block).
+* **Kernel counters** — the :class:`~repro.delaunay.kernel.Triangulation`
+  accumulates plain-integer statistics (walk steps, cavity sizes,
+  filtered-predicate escalations) with near-zero overhead; callers
+  *absorb* them here when a kernel finishes.
+* **Event counters** — free-form named tallies (Steiner points, segment
+  splits, recovery flips, ...).
+
+The layer is **opt-in and ambient**: :func:`use_counters` installs a
+:class:`Counters` sink for the current process; code paths call
+:func:`current` and skip reporting when it returns ``None``.  The ambient
+sink is shared across threads (absorption is lock-protected) so the SPMD
+threads backend aggregates into one report.
+
+Nothing here is imported by the kernel's hot loops — the kernel counts
+into its own attributes and this module only aggregates, so profiling
+cost is paid at phase granularity, not per predicate call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Histogram",
+    "KernelCounters",
+    "Counters",
+    "current",
+    "use_counters",
+    "phase",
+]
+
+
+class Histogram:
+    """Fixed-bucket integer histogram (last bucket catches overflow).
+
+    Buckets are unit-width: bucket ``i`` counts value ``i`` for
+    ``i < n_buckets - 1``; the final bucket counts everything larger.
+    Cheap enough to update once per kernel insertion.
+    """
+
+    __slots__ = ("buckets", "count", "total")
+
+    def __init__(self, n_buckets: int = 32) -> None:
+        self.buckets: List[int] = [0] * n_buckets
+        self.count = 0
+        self.total = 0
+
+    def add(self, value: int) -> None:
+        n = len(self.buckets)
+        self.buckets[value if value < n - 1 else n - 1] += 1
+        self.count += 1
+        self.total += value
+
+    def merge_counts(self, buckets: List[int], count: int, total: int) -> None:
+        """Merge a raw bucket array (as kept by the kernel) into this."""
+        mine = self.buckets
+        n = len(mine)
+        for i, b in enumerate(buckets):
+            if b:
+                mine[i if i < n - 1 else n - 1] += b
+        self.count += count
+        self.total += total
+
+    def merge(self, other: "Histogram") -> None:
+        self.merge_counts(other.buckets, other.count, other.total)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Approximate q-th percentile (bucket lower bound), q in [0, 100]."""
+        if not self.count:
+            return 0
+        target = q / 100.0 * self.count
+        acc = 0
+        for i, b in enumerate(self.buckets):
+            acc += b
+            if acc >= target:
+                return i
+        return len(self.buckets) - 1
+
+    def summary(self) -> str:
+        top = len(self.buckets) - 1
+        p95 = self.percentile(95.0)
+        return (
+            f"mean {self.mean():.2f}  p50 {self.percentile(50.0)}  "
+            f"p95 {p95 if p95 < top else f'{top}+'}  n {self.count}"
+        )
+
+
+class KernelCounters:
+    """Aggregated :class:`Triangulation` statistics.
+
+    ``absorb`` pulls the plain-int ``stat_*`` attributes off a kernel
+    instance; repeated absorption of *different* kernels accumulates
+    (each subdomain refinement contributes its own triangulation).
+    """
+
+    __slots__ = (
+        "inserts", "locates", "walk_steps", "brute_locates", "grid_seeds",
+        "cavity_triangles", "flips",
+        "orient_fast", "orient_exact", "incircle_fast", "incircle_exact",
+        "batch_calls", "batch_entries",
+        "walk_hist", "cavity_hist",
+    )
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.locates = 0
+        self.walk_steps = 0
+        self.brute_locates = 0
+        self.grid_seeds = 0
+        self.cavity_triangles = 0
+        self.flips = 0
+        self.orient_fast = 0
+        self.orient_exact = 0
+        self.incircle_fast = 0
+        self.incircle_exact = 0
+        self.batch_calls = 0
+        self.batch_entries = 0
+        self.walk_hist = Histogram(32)
+        self.cavity_hist = Histogram(32)
+
+    def absorb(self, tri) -> None:
+        """Accumulate the counters of a finished ``Triangulation``."""
+        self.inserts += tri.stat_inserts
+        self.locates += tri.stat_locates
+        self.walk_steps += tri.stat_walk_steps
+        self.brute_locates += tri.stat_brute_locates
+        self.grid_seeds += tri.stat_grid_seeds
+        self.cavity_triangles += tri.stat_cavity_tris
+        self.flips += tri.stat_flips
+        self.orient_fast += tri.stat_orient_fast
+        self.orient_exact += tri.stat_orient_exact
+        self.incircle_fast += tri.stat_incircle_fast
+        self.incircle_exact += tri.stat_incircle_exact
+        self.batch_calls += tri.stat_batch_calls
+        self.batch_entries += tri.stat_batch_entries
+        self.walk_hist.merge_counts(
+            tri.stat_walk_hist, tri.stat_locates, tri.stat_walk_steps)
+        self.cavity_hist.merge_counts(
+            tri.stat_cavity_hist, tri.stat_inserts, tri.stat_cavity_tris)
+
+    def merge(self, other: "KernelCounters") -> None:
+        for name in self.__slots__:
+            if name in ("walk_hist", "cavity_hist"):
+                getattr(self, name).merge(getattr(other, name))
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    # ------------------------------------------------------------------
+    @property
+    def orient_tests(self) -> int:
+        return self.orient_fast + self.orient_exact
+
+    @property
+    def incircle_tests(self) -> int:
+        return self.incircle_fast + self.incircle_exact
+
+    @property
+    def exact_escalation_rate(self) -> float:
+        """Fraction of filtered predicate tests escalated to exact
+        rational arithmetic (the metric the filter design targets)."""
+        total = self.orient_tests + self.incircle_tests
+        if not total:
+            return 0.0
+        return (self.orient_exact + self.incircle_exact) / total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "inserts": self.inserts,
+            "locates": self.locates,
+            "walk_steps": self.walk_steps,
+            "walk_steps_mean": self.walk_hist.mean(),
+            "walk_steps_p95": self.walk_hist.percentile(95.0),
+            "brute_locates": self.brute_locates,
+            "grid_seeds": self.grid_seeds,
+            "cavity_triangles": self.cavity_triangles,
+            "cavity_size_mean": self.cavity_hist.mean(),
+            "cavity_size_p95": self.cavity_hist.percentile(95.0),
+            "flips": self.flips,
+            "orient_tests": self.orient_tests,
+            "orient_exact": self.orient_exact,
+            "incircle_tests": self.incircle_tests,
+            "incircle_exact": self.incircle_exact,
+            "batch_calls": self.batch_calls,
+            "batch_entries": self.batch_entries,
+            "exact_escalation_rate": self.exact_escalation_rate,
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"  inserts            {self.inserts}",
+            f"  walk steps         {self.walk_hist.summary()}",
+            f"  cavity size        {self.cavity_hist.summary()}",
+            f"  grid-seeded walks  {self.grid_seeds}"
+            f"   brute-force locates {self.brute_locates}",
+            f"  orient tests       {self.orient_tests}"
+            f"  (exact {self.orient_exact})",
+            f"  incircle tests     {self.incircle_tests}"
+            f"  (exact {self.incircle_exact})",
+            f"  batched entries    {self.batch_entries}"
+            f"  in {self.batch_calls} batch calls",
+            f"  flips              {self.flips}",
+            f"  exact escalation   {self.exact_escalation_rate:.4%}",
+        ]
+        return "\n".join(lines)
+
+
+class Counters:
+    """Process-wide profiling sink: phases + kernel stats + named events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.phases: Dict[str, float] = {}
+        self.phase_calls: Dict[str, int] = {}
+        self.kernel = KernelCounters()
+        self.events: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            with self._lock:
+                self.phases[name] = self.phases.get(name, 0.0) + dt
+                self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    def absorb_kernel(self, tri) -> None:
+        with self._lock:
+            self.kernel.absorb(tri)
+
+    def incr(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.events[name] = self.events.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "phases_s": dict(self.phases),
+            "kernel": self.kernel.as_dict(),
+            "events": dict(self.events),
+        }
+
+    def report(self) -> str:
+        lines = ["== profile =="]
+        if self.phases:
+            lines.append("phases:")
+            width = max(len(k) for k in self.phases)
+            for name, dt in self.phases.items():
+                calls = self.phase_calls.get(name, 1)
+                extra = f"  ({calls} calls)" if calls > 1 else ""
+                lines.append(f"  {name:<{width}}  {dt:8.3f}s{extra}")
+        lines.append("kernel:")
+        lines.append(self.kernel.report())
+        if self.events:
+            lines.append("events:")
+            width = max(len(k) for k in self.events)
+            for name in sorted(self.events):
+                lines.append(f"  {name:<{width}}  {self.events[name]}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Ambient sink
+# ----------------------------------------------------------------------
+_current: Optional[Counters] = None
+
+
+def current() -> Optional[Counters]:
+    """The installed profiling sink, or ``None`` when profiling is off."""
+    return _current
+
+
+@contextmanager
+def use_counters(counters: Optional[Counters] = None) -> Iterator[Counters]:
+    """Install ``counters`` (or a fresh sink) as the ambient sink.
+
+    Nesting replaces the sink for the dynamic extent of the block; the
+    previous sink is restored on exit.
+    """
+    global _current
+    sink = counters if counters is not None else Counters()
+    prev = _current
+    _current = sink
+    try:
+        yield sink
+    finally:
+        _current = prev
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time a named phase against the ambient sink (no-op when off)."""
+    sink = _current
+    if sink is None:
+        yield
+    else:
+        with sink.phase(name):
+            yield

@@ -57,10 +57,38 @@ class BucketGrid:
 
     def insert_many(self, pts: np.ndarray, payloads: Optional[Iterable[int]] = None
                     ) -> None:
+        """Bulk insert: vectorized binning, then one C-level extend per
+        occupied cell (the kernel rebuilds its locator grid from snapshots,
+        so build cost matters more than single-point insert cost)."""
         pts = np.asarray(pts, dtype=np.float64)
-        ids = range(len(pts)) if payloads is None else payloads
-        for (x, y), pid in zip(pts, ids):
-            self.insert(float(x), float(y), int(pid))
+        if len(pts) == 0:
+            return
+        w = self.bounds.width or 1.0
+        h = self.bounds.height or 1.0
+        # Same expression order as _cell_index so bulk and scalar binning
+        # agree bit-for-bit.
+        ix = ((pts[:, 0] - self.bounds.xmin) / w * self.nx).astype(np.int64)
+        iy = ((pts[:, 1] - self.bounds.ymin) / h * self.ny).astype(np.int64)
+        np.clip(ix, 0, self.nx - 1, out=ix)
+        np.clip(iy, 0, self.ny - 1, out=iy)
+        cells = iy * self.nx + ix
+        if payloads is None:
+            ids = np.arange(len(pts), dtype=np.int64)
+        else:
+            ids = np.asarray(list(payloads), dtype=np.int64)
+        order = np.argsort(cells, kind="stable")
+        cells_sorted = cells[order]
+        bounds = np.flatnonzero(np.diff(cells_sorted)) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [len(cells_sorted)]))
+        xs = pts[order, 0].tolist()
+        ys = pts[order, 1].tolist()
+        pids = ids[order].tolist()
+        cell_lists = self._cells
+        for s, e, c in zip(starts.tolist(), ends.tolist(),
+                           cells_sorted[starts].tolist()):
+            cell_lists[c].extend(zip(xs[s:e], ys[s:e], pids[s:e]))
+        self._n += len(pts)
 
     def nearest(self, x: float, y: float) -> Optional[int]:
         """Payload of an *approximately* nearest stored point, or ``None``.

@@ -1,0 +1,114 @@
+"""Interface conformity of decoupled refinement (paper Section III).
+
+The decoupling argument rests on a sharp guarantee: subdomains refined
+*independently* still agree bit-for-bit along their shared borders — the
+graded border point spacing ensures refinement never needs to split a
+locked border segment, so every interface vertex and edge appears
+identically (exact float equality, not within tolerance) on both sides.
+These tests check that guarantee at the coordinate level, which is what
+lets ``merge_meshes`` weld subdomain meshes without creating T-junctions.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.decouple import decouple, initial_quadrants, refine_subdomain
+from repro.delaunay.mesh import merge_meshes
+from repro.geometry.aabb import AABB
+from repro.sizing.functions import RadialSizing
+
+INNER = AABB(-1, -1, 1, 1)
+OUTER = AABB(-6, -6, 6, 6)
+
+
+def _decoupled_meshes(target_count=8):
+    sizing = RadialSizing((0, 0), h0=0.35, grading=0.35)
+    quads = initial_quadrants(INNER, OUTER, sizing)
+    subs = decouple(quads, sizing, target_count=target_count)
+    return subs, [refine_subdomain(s, sizing) for s in subs]
+
+
+def _point_key(p) -> bytes:
+    # Exact binary representation: conformity means *identical* floats.
+    return np.asarray(p, dtype=np.float64).tobytes()
+
+
+def _boundary_edge_keys(mesh):
+    """Boundary edges as direction-normalised exact coordinate pairs."""
+    keys = []
+    for u, v in mesh.boundary_edges():
+        a, b = _point_key(mesh.points[u]), _point_key(mesh.points[v])
+        keys.append((a, b) if a < b else (b, a))
+    return keys
+
+
+def _on_domain_boundary(p) -> bool:
+    m = max(abs(p[0]), abs(p[1]))
+    return m == 1.0 or m == 6.0  # exactly on the inner or outer ring
+
+
+class TestInterfaceConformity:
+    def test_interface_vertices_bit_identical(self):
+        """Every refined submesh retains its decoupling-border vertices
+        exactly; shared border points coincide bit-for-bit across the
+        neighbouring submeshes."""
+        subs, meshes = _decoupled_meshes()
+        mesh_point_sets = [
+            {_point_key(p) for p in m.points} for m in meshes
+        ]
+        ring_keys = [
+            [_point_key(p) for p in s.ring] for s in subs
+        ]
+        for ring, pset in zip(ring_keys, mesh_point_sets):
+            missing = [k for k in ring if k not in pset]
+            assert not missing, (
+                f"{len(missing)} locked border vertices lost by refinement"
+            )
+        # Adjacent subdomains share border vertices exactly.
+        shared_any = 0
+        for i in range(len(subs)):
+            for j in range(i + 1, len(subs)):
+                common = set(ring_keys[i]) & set(ring_keys[j])
+                if common:
+                    shared_any += 1
+                    assert common <= mesh_point_sets[i]
+                    assert common <= mesh_point_sets[j]
+        assert shared_any > 0, "decomposition produced no interfaces"
+
+    def test_interface_edges_match_pairwise(self):
+        """Each refined submesh boundary edge is either a domain-boundary
+        edge or appears in exactly one other submesh (same two exact
+        coordinates) — no T-junctions, no hanging interface edges."""
+        _subs, meshes = _decoupled_meshes()
+        counts = Counter()
+        for m in meshes:
+            counts.update(_boundary_edge_keys(m))
+        for (a, b), c in counts.items():
+            pa = np.frombuffer(a, dtype=np.float64)
+            pb = np.frombuffer(b, dtype=np.float64)
+            if c == 1:
+                assert _on_domain_boundary(pa) and _on_domain_boundary(pb), (
+                    f"unmatched interface edge {pa}-{pb}"
+                )
+            else:
+                assert c == 2, (
+                    f"interface edge {pa}-{pb} shared by {c} subdomains"
+                )
+
+    def test_merge_welds_interfaces_exactly(self):
+        """Welding on exact coordinates: the merged mesh has one vertex
+        per distinct coordinate, every interface edge becomes an internal
+        edge, and the merged boundary is exactly the domain boundary."""
+        _subs, meshes = _decoupled_meshes()
+        merged = merge_meshes(meshes)
+        assert merged.is_conforming()
+        distinct = {_point_key(p) for m in meshes for p in m.points}
+        assert merged.n_points == len(distinct)
+
+        counts = Counter()
+        for m in meshes:
+            counts.update(_boundary_edge_keys(m))
+        domain_boundary = {k for k, c in counts.items() if c == 1}
+        merged_boundary = set(_boundary_edge_keys(merged))
+        assert merged_boundary == domain_boundary

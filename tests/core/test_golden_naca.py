@@ -1,0 +1,60 @@
+"""Golden regression: the NACA 0012 quickstart mesh vs the stored output.
+
+``examples/output/naca0012.npz`` is the quickstart mesh checked in as a
+golden artefact.  Re-meshing the same configuration must stay within a
+few percent of it on the macro statistics — a drift gate for kernel,
+refinement, or decoupling changes that accidentally alter the mesh (the
+kernel itself is allowed to change insertion internals, so counts are
+compared within tolerance, not bit-for-bit).
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import BoundaryLayerConfig, MeshConfig, PSLG, generate_mesh, naca0012
+from repro.io.meshio import read_mesh_npz
+
+GOLDEN = Path(__file__).resolve().parents[2] / "examples/output/naca0012.npz"
+
+
+@pytest.fixture(scope="module")
+def golden_mesh():
+    return read_mesh_npz(GOLDEN)
+
+
+@pytest.fixture(scope="module")
+def quickstart_mesh():
+    # Mirrors examples/quickstart.py exactly.
+    pslg = PSLG.from_loops([naca0012(n_points=101)], names=["naca0012"])
+    config = MeshConfig(
+        bl=BoundaryLayerConfig(first_spacing=1e-3, growth_ratio=1.3,
+                               max_layers=40),
+        farfield_chords=40.0,
+        target_subdomains=16,
+    )
+    return generate_mesh(pslg, config).mesh
+
+
+class TestGoldenNaca0012:
+    def test_counts_within_tolerance(self, golden_mesh, quickstart_mesh):
+        assert quickstart_mesh.n_points == pytest.approx(
+            golden_mesh.n_points, rel=0.05)
+        assert quickstart_mesh.n_triangles == pytest.approx(
+            golden_mesh.n_triangles, rel=0.05)
+
+    def test_min_angle_within_tolerance(self, golden_mesh, quickstart_mesh):
+        got = float(np.degrees(quickstart_mesh.min_angle()))
+        want = float(np.degrees(golden_mesh.min_angle()))
+        # The minimum angle is set by the BL slivers at the trailing-edge
+        # cusp, which the BL generator controls deterministically.
+        assert got == pytest.approx(want, rel=0.02)
+
+    def test_structure_matches_golden(self, golden_mesh, quickstart_mesh):
+        assert quickstart_mesh.is_conforming()
+        # Total mesh area (the farfield box minus the airfoil) must agree
+        # tightly — it is fixed by the geometry, not the triangulation.
+        got = float(np.abs(quickstart_mesh.areas()).sum())
+        want = float(np.abs(golden_mesh.areas()).sum())
+        assert got == pytest.approx(want, rel=1e-6)

@@ -1,0 +1,107 @@
+"""Tests for the profiling/observability layer (repro.runtime.counters)."""
+
+import threading
+
+import numpy as np
+
+from repro.delaunay.kernel import triangulate
+from repro.runtime.counters import (
+    Counters,
+    Histogram,
+    KernelCounters,
+    current,
+    phase,
+    use_counters,
+)
+
+
+class TestHistogram:
+    def test_add_and_stats(self):
+        h = Histogram(8)
+        for v in (0, 1, 1, 3, 100):
+            h.add(v)
+        assert h.count == 5
+        assert h.total == 105
+        assert h.buckets[1] == 2
+        assert h.buckets[7] == 1  # overflow bucket
+        assert h.mean() == 21.0
+        assert h.percentile(50.0) == 1
+
+    def test_merge_counts_overflow_folding(self):
+        h = Histogram(4)
+        h.merge_counts([1, 2, 3, 4, 5, 6], count=21, total=100)
+        assert h.buckets == [1, 2, 3, 15]
+        assert h.count == 21 and h.total == 100
+
+
+class TestKernelCounters:
+    def test_absorb_from_triangulation(self):
+        tri = triangulate(np.random.default_rng(0).random((150, 2)))
+        kc = KernelCounters()
+        kc.absorb(tri)
+        assert kc.inserts == 150
+        assert kc.incircle_tests > 0
+        assert kc.orient_tests > 0
+        assert kc.cavity_hist.count == kc.inserts
+        assert 0.0 <= kc.exact_escalation_rate < 1.0
+        d = kc.as_dict()
+        assert d["inserts"] == 150
+        assert "exact_escalation_rate" in d
+
+    def test_merge_accumulates(self):
+        tri = triangulate(np.random.default_rng(1).random((80, 2)))
+        a, b = KernelCounters(), KernelCounters()
+        a.absorb(tri)
+        b.absorb(tri)
+        b.merge(a)
+        assert b.inserts == 2 * a.inserts
+        assert b.walk_hist.count == 2 * a.walk_hist.count
+
+
+class TestAmbientSink:
+    def test_off_by_default(self):
+        assert current() is None
+        with phase("noop"):
+            pass  # must not raise with no sink installed
+
+    def test_use_counters_installs_and_restores(self):
+        with use_counters() as sink:
+            assert current() is sink
+            with phase("stage"):
+                pass
+            sink.incr("things", 3)
+        assert current() is None
+        assert "stage" in sink.phases
+        assert sink.events["things"] == 3
+
+    def test_nesting_restores_outer(self):
+        with use_counters() as outer:
+            with use_counters() as inner:
+                assert current() is inner
+            assert current() is outer
+
+    def test_report_renders(self):
+        with use_counters() as sink:
+            with phase("mesh"):
+                sink.kernel.absorb(
+                    triangulate(np.random.default_rng(2).random((60, 2))))
+            sink.incr("steiner_points")
+        text = sink.report()
+        assert "mesh" in text and "inserts" in text and "steiner_points" in text
+
+    def test_thread_safe_absorption(self):
+        tri = triangulate(np.random.default_rng(3).random((50, 2)))
+        sink = Counters()
+
+        def work():
+            for _ in range(50):
+                sink.absorb_kernel(tri)
+                sink.incr("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sink.kernel.inserts == 200 * tri.stat_inserts
+        assert sink.events["n"] == 200
