@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +27,8 @@ from .core.pipeline import MeshConfig, generate_mesh
 from .geometry.airfoils import naca4, three_element_airfoil
 from .geometry.pslg import PSLG
 from .io.meshio import read_poly, write_mesh_ascii, write_mesh_npz
+from .lint import RULESET_VERSION, rule_ids, tsan
+from .runtime.counters import timed
 
 __all__ = ["main", "build_parser"]
 
@@ -86,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="collect and print kernel/phase counters "
                    "(walk steps, cavity sizes, predicate escalations)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="enable the runtime race sanitizer (equivalent to "
+                   "REPRO_SANITIZE=1): instrument the threads backend's "
+                   "RMA windows and communicator for data races")
     return p
 
 
@@ -137,18 +143,21 @@ def main(argv=None) -> int:
         grading=args.grading,
         target_subdomains=args.subdomains,
     )
-    t0 = time.perf_counter()
-    if args.profile:
-        from .runtime.counters import use_counters
+    if args.sanitize and not tsan.enabled():
+        os.environ["REPRO_SANITIZE"] = "1"  # inherited by any subprocesses
+        tsan.enable()
+    with timed("total") as tm:
+        if args.profile:
+            from .runtime.counters import use_counters
 
-        with use_counters() as profile_sink:
+            with use_counters() as profile_sink:
+                result = generate_mesh(pslg, config, backend=args.backend,
+                                       n_ranks=args.ranks)
+        else:
+            profile_sink = None
             result = generate_mesh(pslg, config, backend=args.backend,
                                    n_ranks=args.ranks)
-    else:
-        profile_sink = None
-        result = generate_mesh(pslg, config, backend=args.backend,
-                               n_ranks=args.ranks)
-    elapsed = time.perf_counter() - t0
+    elapsed = tm.elapsed
 
     out = Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -180,6 +189,8 @@ def main(argv=None) -> int:
             float(np.degrees(result.mesh.min_angle())), 3),
         "outputs": written,
         "timings": {k: round(v, 3) for k, v in result.timings.items()},
+        "sanitizer": tsan.status(),
+        "lint": {"ruleset": RULESET_VERSION, "rules": list(rule_ids())},
     }
     if profile_sink is not None:
         print(profile_sink.report())

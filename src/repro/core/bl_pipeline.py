@@ -194,7 +194,9 @@ def _simplify_borders(element_rays: Sequence[List[Ray]], *,
             return removed
         shrunk = set()
         progress = False
-        for g in guilty:
+        # Deterministic shrink order (lint R4): the set's hash order would
+        # let PYTHONHASHSEED pick which ray loses a layer first.
+        for g in sorted(guilty):
             el, r0, r1 = owners[g]
             if r0 < 0:
                 continue  # surface segments are immovable

@@ -36,6 +36,7 @@ from ..delaunay.mesh import TriMesh
 from ..delaunay.refine import RUPPERT_BOUND, Refiner
 from ..delaunay.constrained import triangulate_pslg
 from ..geometry.aabb import AABB
+from ..geometry.predicates import exact_eq
 from ..geometry.primitives import polygon_area
 from ..sizing.functions import SizingFunction, decoupling_edge_length
 
@@ -99,7 +100,7 @@ def march_path(
     p1 = (float(p1[0]), float(p1[1]))
     dx, dy = p1[0] - p0[0], p1[1] - p0[1]
     total = math.hypot(dx, dy)
-    if total == 0.0:
+    if exact_eq(total, 0.0):
         raise ValueError("degenerate path")
     ux, uy = dx / total, dy / total
 
@@ -323,7 +324,7 @@ def decouple(
     heap = []
     counter = 0
     for s in subdomains:
-        if s.est_triangles == 0.0:
+        if exact_eq(s.est_triangles, 0.0):
             s.est_triangles = estimate_triangles(s, sizing)
         heapq.heappush(heap, (-s.est_triangles, counter, s))
         counter += 1

@@ -20,7 +20,6 @@ output without any human intervention."
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -30,7 +29,7 @@ from ..delaunay.mesh import TriMesh, merge_meshes
 from ..delaunay.refine import RUPPERT_BOUND
 from ..geometry.aabb import AABB
 from ..geometry.pslg import PSLG
-from ..runtime.counters import phase
+from ..runtime.counters import timed
 from ..sizing.functions import GradedDistanceSizing
 from .bl_pipeline import (
     BoundaryLayerConfig,
@@ -104,10 +103,9 @@ def generate_mesh(
     # ------------------------------------------------------------------
     # 1. Boundary layers.
     # ------------------------------------------------------------------
-    t0 = time.perf_counter()
-    with phase("boundary_layer"):
+    with timed("boundary_layer") as tm:
         bl = generate_boundary_layer(pslg, config.bl)
-    timings["boundary_layer"] = time.perf_counter() - t0
+    timings["boundary_layer"] = tm.elapsed
 
     # ------------------------------------------------------------------
     # 2. Sizing function from the BL outer borders.
@@ -125,46 +123,44 @@ def generate_mesh(
     # ------------------------------------------------------------------
     # 3. Near-body subdomain: graded box around the BL.
     # ------------------------------------------------------------------
-    t0 = time.perf_counter()
-    margin = config.nearbody_margin_chords * chord
-    nb_box = AABB.of_points(borders).expanded(margin)
-    corners = [
-        (nb_box.xmin, nb_box.ymin), (nb_box.xmax, nb_box.ymin),
-        (nb_box.xmax, nb_box.ymax), (nb_box.xmin, nb_box.ymax),
-    ]
-    nb_ring_parts = [
-        march_path(corners[i], corners[(i + 1) % 4], sizing)
-        for i in range(4)
-    ]
-    from .decouple import _ring_from_parts
+    with timed("nearbody_setup") as tm:
+        margin = config.nearbody_margin_chords * chord
+        nb_box = AABB.of_points(borders).expanded(margin)
+        corners = [
+            (nb_box.xmin, nb_box.ymin), (nb_box.xmax, nb_box.ymin),
+            (nb_box.xmax, nb_box.ymax), (nb_box.xmin, nb_box.ymax),
+        ]
+        nb_ring_parts = [
+            march_path(corners[i], corners[(i + 1) % 4], sizing)
+            for i in range(4)
+        ]
+        from .decouple import _ring_from_parts
 
-    nb_ring = _ring_from_parts(nb_ring_parts)
-    nearbody = DecoupledSubdomain(
-        ring=nb_ring,
-        hole_rings=[np.asarray(ob) for ob in bl.outer_borders],
-        holes=[interior_seed(np.asarray(ob)) for ob in bl.outer_borders],
-    )
-    timings["nearbody_setup"] = time.perf_counter() - t0
+        nb_ring = _ring_from_parts(nb_ring_parts)
+        nearbody = DecoupledSubdomain(
+            ring=nb_ring,
+            hole_rings=[np.asarray(ob) for ob in bl.outer_borders],
+            holes=[interior_seed(np.asarray(ob)) for ob in bl.outer_borders],
+        )
+    timings["nearbody_setup"] = tm.elapsed
 
     # ------------------------------------------------------------------
     # 4. Decouple the far field.
     # ------------------------------------------------------------------
-    t0 = time.perf_counter()
     cx, cy = nb_box.center
     half = config.farfield_chords * chord
     ff_box = AABB(cx - half, cy - half, cx + half, cy + half)
     quads = initial_quadrants(nb_box, ff_box, sizing)
-    with phase("decoupling"):
+    with timed("decoupling") as tm:
         subdomains = decouple(quads, sizing,
                               target_count=max(config.target_subdomains - 1, 4))
-    timings["decoupling"] = time.perf_counter() - t0
+    timings["decoupling"] = tm.elapsed
 
     # ------------------------------------------------------------------
     # 5. Refine everything (near-body + inviscid subdomains).
     # ------------------------------------------------------------------
-    t0 = time.perf_counter()
     work = [nearbody] + list(subdomains)
-    with phase("refinement"):
+    with timed("refinement") as tm:
         if backend == "local":
             meshes = [
                 refine_subdomain(s, sizing, quality_bound=config.quality_bound,
@@ -175,15 +171,14 @@ def generate_mesh(
             meshes = _refine_parallel(work, sizing, config, n_ranks)
         else:
             raise ValueError(f"unknown backend: {backend}")
-    timings["refinement"] = time.perf_counter() - t0
+    timings["refinement"] = tm.elapsed
 
     # ------------------------------------------------------------------
     # 6. Merge.
     # ------------------------------------------------------------------
-    t0 = time.perf_counter()
-    with phase("merge"):
+    with timed("merge") as tm:
         merged = merge_meshes([bl.mesh] + meshes)
-    timings["merge"] = time.perf_counter() - t0
+    timings["merge"] = tm.elapsed
 
     stats = {
         "n_triangles": float(merged.n_triangles),

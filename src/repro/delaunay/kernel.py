@@ -46,7 +46,6 @@ from __future__ import annotations
 
 import gc
 import math
-import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -133,8 +132,11 @@ class Triangulation:
         self.vertex_tri: List[int] = []              # one incident tri per vertex
         self.constraints: Set[Tuple[int, int]] = set()
         self._last_tri: int = -1                     # walk hint
-        self._rng = random.Random(seed)
-        self._lcg = self._rng.getrandbits(31)
+        # Seeded, instance-owned generator (never the stdlib/global RNG —
+        # lint rule R3): concurrent kernels on the SPMD threads backend
+        # must not share hidden RNG state.
+        self._rng = np.random.default_rng(seed)
+        self._lcg = int(self._rng.integers(1, 1 << 31))
         self._fast = bool(fast_predicates)
         self.n_live_triangles = 0                    # includes ghosts
         # Triangles created/removed by the most recent insert_point call —
@@ -510,9 +512,9 @@ class Triangulation:
                 det = detleft - detright
                 detsum = abs(detleft) + abs(detright)
                 if detsum > _CCW_GUARD and (
-                        det > _CCW_ERR * detsum or -det > _CCW_ERR * detsum):
+                        det > _CCW_ERR * detsum or -det > _CCW_ERR * detsum):  # lint: disable=R1 -- inlined orient2d filter; inconclusive signs escalate below
                     n_fast += 1
-                    inside = det > 0.0
+                    inside = det > 0.0  # lint: disable=R1 -- sign certified by the filter on the line above
                 else:
                     self.stat_orient_exact += 1
                     inside = orient2d((ux, uy), (vx, vy), p) >= 0
@@ -545,7 +547,7 @@ class Triangulation:
                 detsum = abs(detleft) + abs(detright)
                 if detsum > _CCW_GUARD:
                     errbound = _CCW_ERR * detsum
-                    if det > errbound:
+                    if det > errbound:  # lint: disable=R1 -- inlined orient2d filter; shares ORIENT_ERR_BOUND, exact fallback below
                         n_fast += 1
                         continue          # p weakly left: not through here
                     if -det > errbound:
@@ -704,7 +706,7 @@ class Triangulation:
                 detsum = abs(detleft) + abs(detright)
                 if detsum > _CCW_GUARD:
                     errbound = _CCW_ERR * detsum
-                    if det > errbound:
+                    if det > errbound:  # lint: disable=R1 -- inlined orient2d filter; shares ORIENT_ERR_BOUND, exact fallback below
                         n_ofast += 1
                         t0 = t
                         certified = True
@@ -755,7 +757,7 @@ class Triangulation:
                 detsum = abs(detleft) + abs(detright)
                 if detsum > _CCW_GUARD:
                     errbound = _CCW_ERR * detsum
-                    if det > errbound:
+                    if det > errbound:  # lint: disable=R1 -- inlined orient2d filter; shares ORIENT_ERR_BOUND, exact fallback below
                         n_ofast += 1
                         continue
                     if -det > errbound:
@@ -908,7 +910,7 @@ class Triangulation:
                 s = alift + blift + clift
                 if s > _ICC_S_GUARD:
                     cheap = _ICC_CHEAP * s * s
-                    if det > cheap:
+                    if det > cheap:  # lint: disable=R1 -- inlined incircle cheap certificate; full filter + exact below
                         n_ifast += 1
                         cavity.add(nb)
                         frontier.append(nb)
@@ -922,7 +924,7 @@ class Triangulation:
                              + (abs(adxbdy) + abs(bdxady)) * clift)
                 if permanent > _ICC_GUARD:
                     errbound = _ICC_ERR * permanent
-                    if det > errbound:
+                    if det > errbound:  # lint: disable=R1 -- inlined incircle Shewchuk filter; exact escalation below
                         n_ifast += 1
                         cavity.add(nb)
                         frontier.append(nb)

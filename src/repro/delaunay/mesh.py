@@ -15,6 +15,8 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..geometry.predicates import exact_eq
+
 __all__ = ["TriMesh", "merge_meshes"]
 
 
@@ -99,7 +101,7 @@ class TriMesh:
         area = np.abs(self.areas())
         with np.errstate(divide="ignore", invalid="ignore"):
             r = ls[:, 0] * ls[:, 1] * ls[:, 2] / (4.0 * area)
-        r[area == 0.0] = np.inf
+        r[exact_eq(area, 0.0)] = np.inf
         return r
 
     def radius_edge_ratios(self) -> np.ndarray:
@@ -244,7 +246,7 @@ class TriMesh:
                 if len(opp) != 1:
                     continue
                 d = p[opp[0]]
-                if tol == 0.0:
+                if exact_eq(tol, 0.0):
                     if incircle(a, b, c, d) > 0:
                         bad += 1
                 else:

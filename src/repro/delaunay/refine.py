@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..geometry.predicates import exact_eq
 from ..geometry.primitives import circumcenter, distance, distance_sq
 from ..runtime.counters import current as counters_current
 from .constrained import carve, triangulate_pslg
@@ -298,7 +299,7 @@ class Refiner:
             (pb[0] - pa[0]) * (pc[1] - pa[1])
             - (pb[1] - pa[1]) * (pc[0] - pa[0])
         )
-        if area == 0.0:
+        if exact_eq(area, 0.0):
             return None  # exactly degenerate slivers cannot be improved
         if self.area_fn is not None:
             cx = (pa[0] + pb[0] + pc[0]) / 3.0

@@ -41,6 +41,7 @@ __all__ = [
     "ORIENT_UNDERFLOW_GUARD",
     "INCIRCLE_UNDERFLOW_GUARD",
     "batch_exact_counts",
+    "exact_eq",
 ]
 
 # Sign conventions (matching Shewchuk's Triangle):
@@ -83,6 +84,19 @@ _batch_exact = {"orient2d": 0, "incircle": 0}
 def batch_exact_counts() -> dict:
     """Running totals of exact-path escalations inside the batch predicates."""
     return dict(_batch_exact)
+
+
+def exact_eq(a, b):
+    """Intentional bitwise float equality (scalar or elementwise array).
+
+    Geometric code is forbidden (lint rule R2) from writing a bare
+    ``x == 0.0``: the reader cannot tell a tolerance bug from a
+    deliberate exact-representation test.  This helper *names* the
+    intent — true-zero guards before division, duplicate-coordinate
+    detection, sentinel defaults — and is the sanctioned spelling.
+    Anything that actually wants a tolerance must not come here.
+    """
+    return a == b
 
 
 def _orient2d_exact(ax, ay, bx, by, cx, cy) -> int:

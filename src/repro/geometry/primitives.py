@@ -12,7 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .predicates import ORIENT_COLLINEAR, orient2d
+from .predicates import ORIENT_COLLINEAR, exact_eq, orient2d
 
 __all__ = [
     "Point",
@@ -60,7 +60,7 @@ def normalize(v) -> Tuple[float, float]:
     boundary-layer code must never emit degenerate normals silently.
     """
     n = math.hypot(v[0], v[1])
-    if n == 0.0:
+    if exact_eq(n, 0.0):
         raise ValueError("cannot normalize zero-length vector")
     return (v[0] / n, v[1] / n)
 
@@ -157,7 +157,7 @@ def segment_intersection_point(p1, p2, q1, q2) -> Optional[Tuple[float, float]]:
     rx, ry = p2[0] - p1[0], p2[1] - p1[1]
     sx, sy = q2[0] - q1[0], q2[1] - q1[1]
     denom = rx * sy - ry * sx
-    if denom == 0.0:
+    if exact_eq(denom, 0.0):
         # Collinear overlap: return an endpoint lying on the other segment.
         for pt in (p1, p2, q1, q2):
             if point_on_segment(pt, q1, q2) and point_on_segment(pt, p1, p2):
@@ -172,7 +172,7 @@ def segment_point_distance(p, a, b) -> float:
     abx, aby = b[0] - a[0], b[1] - a[1]
     apx, apy = p[0] - a[0], p[1] - a[1]
     denom = abx * abx + aby * aby
-    if denom == 0.0:
+    if exact_eq(denom, 0.0):
         return distance(p, a)
     t = (apx * abx + apy * aby) / denom
     t = max(0.0, min(1.0, t))
@@ -208,7 +208,7 @@ def circumcenter(a, b, c) -> Tuple[float, float]:
     bax, bay = b[0] - a[0], b[1] - a[1]
     cax, cay = c[0] - a[0], c[1] - a[1]
     d = 2.0 * (bax * cay - bay * cax)
-    if d == 0.0:
+    if exact_eq(d, 0.0):
         raise ValueError("degenerate triangle has no circumcenter")
     b2 = bax * bax + bay * bay
     c2 = cax * cax + cay * cay
@@ -243,7 +243,7 @@ def slerp_unit(u, v, t: float) -> Tuple[float, float]:
     For exactly opposite vectors the rotation sweeps counter-clockwise.
     """
     theta = signed_turn_angle(u, v)
-    if theta == 0.0 and (u[0] * v[0] + u[1] * v[1]) < 0:
+    if exact_eq(theta, 0.0) and (u[0] * v[0] + u[1] * v[1]) < 0:
         theta = math.pi  # antipodal: atan2 gives +pi already, guard -0.0
     return rotate(u, t * theta)
 

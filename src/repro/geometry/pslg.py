@@ -28,6 +28,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .aabb import AABB
+from .predicates import exact_eq
 from .primitives import polygon_area
 
 __all__ = ["Loop", "PSLG"]
@@ -143,7 +144,7 @@ class PSLG:
         nxt = np.roll(pts, -1, axis=0)
         d = nxt - pts
         lengths = np.linalg.norm(d, axis=1)
-        if np.any(lengths == 0.0):
+        if np.any(exact_eq(lengths, 0.0)):
             raise ValueError("zero-length edge in loop")
         return d / lengths[:, None]
 

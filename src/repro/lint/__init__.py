@@ -1,0 +1,51 @@
+"""repro.lint — invariant-enforcing static analysis for the mesher.
+
+The paper's correctness story rests on invariants the code can silently
+break: exact-arithmetic escalation for geometric predicates (Section
+II.B), deterministic subdomain interfaces after decoupling (Section
+II.E), and data-race-free RMA-window work stealing (Section II.F).  The
+dynamic invariant tests (``tests/delaunay/test_invariants.py``) check
+*outputs*; this package checks *sources*: a custom AST pass that rejects
+code shapes which would let those invariants rot.
+
+Usage::
+
+    python -m repro.lint src/ tests/            # human-readable
+    python -m repro.lint src/ --format=json     # machine-readable
+
+Findings are suppressed per line with a justified pragma::
+
+    det = dx0 * dy1 - dy0 * dx1  # lint: disable=R1 -- magnitude only
+
+A pragma without a one-line justification is itself a finding (``P0``),
+and a pragma that suppresses nothing is a finding (``P1``) — so the
+pragma inventory can never silently outgrow the code it excuses.
+
+The rule set (see :mod:`repro.lint.rules` for the full statements):
+
+========  ==============================================================
+``R1``    raw float determinant sign tests outside ``geometry/predicates``
+``R2``    ``==``/``!=`` against float literals in geometry/delaunay/core
+``R3``    stdlib ``random`` / unseeded ``np.random.*`` in algorithm code
+``R4``    iteration over ``set``/``frozenset`` in ``core``/``runtime``
+``R5``    wall-clock reads outside ``runtime.counters``
+``R6``    ``Window._data`` / comm exchange-box access outside the lock
+========  ==============================================================
+
+The static lockset rule ``R6`` is paired with a *runtime* sanitizer,
+:mod:`repro.lint.tsan` — a vector-clock + lockset race detector that
+instruments :class:`repro.runtime.rma.Window` and
+:class:`repro.runtime.comm.ThreadComm` when ``REPRO_SANITIZE=1``.
+"""
+
+from .engine import Finding, LintRunner, RULESET_VERSION, run_lint
+from .rules import ALL_RULES, rule_ids
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintRunner",
+    "RULESET_VERSION",
+    "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,69 @@
+"""CLI: ``python -m repro.lint src/ tests/ [--format=json]``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import LintRunner, format_json
+from .rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Invariant-enforcing static analysis for the mesher "
+        "(see repro/lint/rules.py for the rule statements).",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", metavar="RULES",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule set and exit")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    rules = list(ALL_RULES)
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",")}
+        unknown = wanted - {r.id for r in ALL_RULES}
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in ALL_RULES if r.id in wanted]
+
+    if args.list_rules:
+        for r in rules:
+            print(f"{r.id}  {r.title}")
+            print(f"     invariant: {r.invariant}")
+        return 0
+
+    if not args.paths:
+        print("no paths given", file=sys.stderr)
+        return 2
+
+    runner = LintRunner(rules)
+    findings, n_files = runner.run(args.paths)
+
+    if args.format == "json":
+        print(format_json(findings, n_files, rules))
+    else:
+        for f in findings:
+            print(f.format_text())
+        tail = f"{len(findings)} finding(s) in {n_files} file(s)"
+        print(tail if findings else f"clean: 0 findings in {n_files} file(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""Lint driver: file walking, pragma accounting, finding suppression.
+
+The engine is rule-agnostic: it parses every ``.py`` file once, hands the
+tree (with parent back-links) to each rule, then reconciles the raw
+findings against the per-line pragma inventory.  Pragma hygiene is
+enforced here, not in the rules:
+
+* ``P0`` — a pragma with no justification, or naming an unknown rule;
+* ``P1`` — a pragma that suppressed nothing (stale excuse).
+
+Both keep the acceptance bar honest: every surviving pragma names a real
+finding and says *why* the code is allowed to keep its shape.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Finding", "FileContext", "LintRunner", "run_lint",
+           "RULESET_VERSION", "iter_python_files"]
+
+#: Bumped whenever a rule is added or its detection heuristic changes, so
+#: machine consumers (CI, ``--stats-json``) can pin expectations.
+RULESET_VERSION = "1.0"
+
+# ``lint: disable=R1`` or ``lint: disable=R1,R6 -- why this is fine``
+# (only real COMMENT tokens are scanned, so docstring examples don't count).
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z]\d+(?:\s*,\s*[A-Za-z]\d+)*)\s*(.*)$"
+)
+# Leading separator of the justification text ("--", "—", ":", ...).
+_JUSTIFY_STRIP = " \t-—–:"
+
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "node_modules",
+              "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Pragma:
+    """A parsed ``# lint: disable=...`` comment on one physical line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    used: set = field(default_factory=set)
+
+    @property
+    def bare(self) -> bool:
+        return not self.justification
+
+
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.AST) -> None:
+        self.path = path
+        #: Normalised forward-slash path used by rule scoping.
+        self.posix = path.as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+
+    # ------------------------------------------------------------------
+    def in_pkg(self, *fragments: str) -> bool:
+        """Is this file inside any of the given package sub-paths?
+
+        Fragments are slash-joined module paths like ``"repro/geometry"``;
+        matching is by path substring with separators pinned, so
+        ``repro/core`` does not match ``repro/core_utils``.
+        """
+        for frag in fragments:
+            if f"/{frag}/" in self.posix or self.posix.endswith(f"/{frag}.py"):
+                return True
+        return False
+
+    def is_module(self, *module_files: str) -> bool:
+        """Exact module-file match, e.g. ``"repro/geometry/predicates.py"``."""
+        return any(self.posix.endswith(f"/{m}") for m in module_files)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def parse_pragmas(source: str) -> Dict[int, Pragma]:
+    """Extract pragmas from *comment tokens* (never from string literals)."""
+    pragmas: Dict[int, Pragma] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(t.start[0], t.string) for t in tokens
+                    if t.type == tokenize.COMMENT]
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return pragmas
+    for lineno, text in comments:
+        m = _PRAGMA_RE.search(text)
+        if not m:
+            continue
+        rules = tuple(r.strip().upper() for r in m.group(1).split(","))
+        justification = m.group(2).strip(_JUSTIFY_STRIP).strip()
+        pragmas[lineno] = Pragma(line=lineno, rules=rules,
+                                 justification=justification)
+    return pragmas
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(part in _SKIP_DIRS or part.endswith(".egg-info")
+                       for part in f.parts):
+                    continue
+                out.append(f)
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+class LintRunner:
+    """Run a rule set over files, reconciling findings with pragmas."""
+
+    def __init__(self, rules: Sequence) -> None:
+        self.rules = list(rules)
+        self._known_ids = {r.id for r in self.rules} | {"P0", "P1", "E9"}
+
+    # ------------------------------------------------------------------
+    def run_file(self, path: Path) -> List[Finding]:
+        posix = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [Finding("E9", posix, 1, 0, f"unreadable file: {exc}")]
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [Finding("E9", posix, exc.lineno or 1, 0,
+                            f"syntax error: {exc.msg}")]
+
+        ctx = FileContext(path, source, tree)
+        pragmas = parse_pragmas(source)
+
+        raw: List[Finding] = []
+        for rule in self.rules:
+            if rule.applies(ctx):
+                raw.extend(rule.check(ctx))
+
+        survived: List[Finding] = []
+        for f in raw:
+            pragma = pragmas.get(f.line)
+            if pragma is not None and f.rule in pragma.rules:
+                pragma.used.add(f.rule)
+                continue
+            survived.append(f)
+
+        # Pragma hygiene (not suppressible by pragmas themselves).
+        for pragma in pragmas.values():
+            unknown = [r for r in pragma.rules if r not in self._known_ids]
+            if unknown:
+                survived.append(Finding(
+                    "P0", posix, pragma.line, 0,
+                    f"pragma names unknown rule(s) {', '.join(unknown)}"))
+            if pragma.bare:
+                survived.append(Finding(
+                    "P0", posix, pragma.line, 0,
+                    "pragma has no justification — append '-- <one line why>'"))
+            stale = [r for r in pragma.rules
+                     if r in self._known_ids and r not in pragma.used]
+            if stale:
+                survived.append(Finding(
+                    "P1", posix, pragma.line, 0,
+                    f"stale pragma: rule(s) {', '.join(stale)} found nothing "
+                    "on this line — remove the excuse"))
+        survived.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return survived
+
+    def run(self, paths: Iterable[str]) -> Tuple[List[Finding], int]:
+        """Lint ``paths``; returns ``(findings, files_scanned)``."""
+        files = iter_python_files(paths)
+        findings: List[Finding] = []
+        for f in files:
+            findings.extend(self.run_file(f))
+        return findings, len(files)
+
+
+def run_lint(paths: Iterable[str],
+             rules: Optional[Sequence] = None) -> Tuple[List[Finding], int]:
+    """Convenience entry point used by tests and the CLI."""
+    if rules is None:
+        from .rules import ALL_RULES
+        rules = ALL_RULES
+    return LintRunner(rules).run(paths)
+
+
+def format_json(findings: Sequence[Finding], files_scanned: int,
+                rules: Sequence) -> str:
+    return json.dumps(
+        {
+            "version": RULESET_VERSION,
+            "files_scanned": files_scanned,
+            "n_findings": len(findings),
+            "rules": [
+                {"id": r.id, "title": r.title} for r in rules
+            ],
+            "findings": [f.as_dict() for f in findings],
+        },
+        indent=2,
+    )

@@ -1,0 +1,387 @@
+"""Lightweight vector-clock + lockset race detector (``REPRO_SANITIZE=1``).
+
+The static lockset rule (R6) proves that *named* guarded state is only
+touched under its owning lock; this module is the dynamic complement for
+everything the AST cannot see: it instruments
+:class:`repro.runtime.rma.Window` and
+:class:`repro.runtime.comm.ThreadComm` and checks, per actual execution,
+that every pair of conflicting accesses to shared state is ordered by a
+happens-before edge or covered by a common lock.
+
+Model (a simplified FastTrack / Eraser hybrid):
+
+* each thread carries a **vector clock** ``{tid: epoch}``;
+* **lock release** publishes the holder's clock into the lock, **lock
+  acquire** joins it — so lock-ordered critical sections are ordered;
+* **send** snapshots the sender's clock onto the message, **recv** joins
+  it — so the work-stealing transfer of a ``WorkItem`` is ordered;
+* **barrier** joins every participant's clock — so the collective
+  exchange boxes of :class:`ThreadComm` are ordered without locks;
+* each instrumented **location** remembers its last write and the reads
+  since; a new access *races* with a remembered one when it comes from a
+  different thread, is not happens-after it, and the two locksets are
+  disjoint.
+
+A detected race raises :class:`RaceError` naming **both** access sites
+(file:line of the code that performed each access).  The detector is a
+single global guarded by one lock — it serializes instrumented
+operations, which is exactly the wrong thing for throughput and exactly
+the right thing for a sanitizer that runs in CI.
+
+Enable with the environment variable ``REPRO_SANITIZE=1`` (checked at
+import), programmatically with :func:`enable`/:func:`disable`, or
+scoped with the :func:`sanitize` context manager.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "RaceError",
+    "Detector",
+    "Access",
+    "enable",
+    "disable",
+    "enabled",
+    "get",
+    "sanitize",
+    "status",
+    "note_acquire",
+    "note_release",
+    "note_access",
+    "note_send",
+    "note_recv",
+    "note_barrier_begin",
+    "note_barrier_end",
+]
+
+VectorClock = Dict[int, int]
+
+
+def vc_join(a: VectorClock, b: VectorClock) -> VectorClock:
+    """Pointwise max of two vector clocks."""
+    out = dict(a)
+    for tid, n in b.items():
+        if out.get(tid, 0) < n:
+            out[tid] = n
+    return out
+
+
+def vc_leq(a: VectorClock, b: VectorClock) -> bool:
+    """``a`` happens-before-or-equals ``b`` (pointwise <=)."""
+    return all(b.get(tid, 0) >= n for tid, n in a.items())
+
+
+class RaceError(RuntimeError):
+    """Unsynchronized conflicting accesses to instrumented shared state."""
+
+    def __init__(self, message: str, current: "Access",
+                 previous: "Access") -> None:
+        super().__init__(message)
+        self.current = current
+        self.previous = previous
+
+
+class Access:
+    """One remembered access to a location."""
+
+    __slots__ = ("tid", "clock", "lockset", "site", "is_write")
+
+    def __init__(self, tid: int, clock: VectorClock,
+                 lockset: FrozenSet, site: str, is_write: bool) -> None:
+        self.tid = tid
+        self.clock = clock
+        self.lockset = lockset
+        self.site = site
+        self.is_write = is_write
+
+    @property
+    def kind(self) -> str:
+        return "write" if self.is_write else "read"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.kind} by t{self.tid} at {self.site}>"
+
+
+# Frames from these files are skipped when attributing an access site, so
+# races are reported against the *algorithm* code that invoked the
+# runtime op, not the instrumentation plumbing.
+_INTERNAL_FILES = ("lint/tsan.py", "runtime/rma.py", "runtime/comm.py")
+
+
+def _call_site() -> str:
+    frame = sys._getframe(1)
+    fallback = None
+    while frame is not None:
+        fn = frame.f_code.co_filename.replace(os.sep, "/")
+        if fallback is None and not fn.endswith("lint/tsan.py"):
+            fallback = frame
+        if not fn.endswith(_INTERNAL_FILES):
+            return (f"{frame.f_code.co_filename}:{frame.f_lineno} "
+                    f"in {frame.f_code.co_name}")
+        frame = frame.f_back
+    frame = fallback or sys._getframe(1)
+    return (f"{frame.f_code.co_filename}:{frame.f_lineno} "
+            f"in {frame.f_code.co_name}")
+
+
+class Detector:
+    """Global happens-before + lockset state for one sanitized run."""
+
+    #: reads remembered per location (per thread, last one wins; bounded
+    #: so a hot polling loop cannot grow the history without limit).
+    MAX_READS = 64
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._clocks: Dict[int, VectorClock] = {}
+        self._held: Dict[int, List[object]] = {}
+        self._lock_clocks: Dict[object, VectorClock] = {}
+        self._barrier_clocks: Dict[object, VectorClock] = {}
+        self._locations: Dict[object, Tuple[Optional[Access],
+                                            Dict[int, Access]]] = {}
+        self.n_accesses = 0
+        self.n_edges = 0
+        self.races: List[RaceError] = []
+
+    # -- per-thread state ----------------------------------------------
+    def _tid(self) -> int:
+        return threading.get_ident()
+
+    def _clock(self, tid: int) -> VectorClock:
+        c = self._clocks.get(tid)
+        if c is None:
+            c = {tid: 1}
+            self._clocks[tid] = c
+        return c
+
+    def _tick(self, tid: int) -> None:
+        c = self._clock(tid)
+        c[tid] = c.get(tid, 0) + 1
+
+    def _lockset(self, tid: int) -> FrozenSet:
+        return frozenset(id(k) for k in self._held.get(tid, ()))
+
+    # -- happens-before edges ------------------------------------------
+    def acquire(self, lock: object) -> None:
+        """The calling thread acquired ``lock`` (already holds it)."""
+        with self._mu:
+            tid = self._tid()
+            self._held.setdefault(tid, []).append(lock)
+            published = self._lock_clocks.get(lock)
+            if published is not None:
+                self._clocks[tid] = vc_join(self._clock(tid), published)
+                self.n_edges += 1
+
+    def release(self, lock: object) -> None:
+        """The calling thread is about to release ``lock``."""
+        with self._mu:
+            tid = self._tid()
+            self._lock_clocks[lock] = dict(self._clock(tid))
+            self._tick(tid)
+            held = self._held.get(tid, [])
+            if lock in held:
+                held.remove(lock)
+
+    def send(self) -> VectorClock:
+        """Snapshot the sender's clock for attachment to a message."""
+        with self._mu:
+            tid = self._tid()
+            snap = dict(self._clock(tid))
+            self._tick(tid)
+            self.n_edges += 1
+            return snap
+
+    def recv(self, snapshot: Optional[VectorClock]) -> None:
+        """Join a received message's clock into the receiver."""
+        if snapshot is None:
+            return
+        with self._mu:
+            tid = self._tid()
+            self._clocks[tid] = vc_join(self._clock(tid), snapshot)
+            self.n_edges += 1
+
+    def barrier_begin(self, key: object) -> None:
+        """Before blocking on a barrier: publish this thread's clock.
+
+        All ``barrier_begin`` calls of one round precede every
+        ``barrier_end`` (the real barrier blocks between them), so the
+        accumulated clock each thread joins on exit dominates every
+        participant's entry clock.  The accumulator is monotone across
+        rounds, which only *adds* true edges (round ``n`` completion
+        implies round ``n-1`` completed).
+        """
+        with self._mu:
+            tid = self._tid()
+            acc = self._barrier_clocks.setdefault(key, {})
+            self._barrier_clocks[key] = vc_join(acc, self._clock(tid))
+            self._tick(tid)
+
+    def barrier_end(self, key: object) -> None:
+        """After the barrier released: join the accumulated clock."""
+        with self._mu:
+            tid = self._tid()
+            acc = self._barrier_clocks.get(key)
+            if acc is not None:
+                self._clocks[tid] = vc_join(self._clock(tid), acc)
+                self.n_edges += 1
+
+    # -- the check ------------------------------------------------------
+    def access(self, location: object, is_write: bool,
+               site: Optional[str] = None) -> None:
+        """Record an access to ``location``; raise on a detected race."""
+        if site is None:
+            site = _call_site()
+        with self._mu:
+            tid = self._tid()
+            me = Access(tid, dict(self._clock(tid)), self._lockset(tid),
+                        site, is_write)
+            self.n_accesses += 1
+            last_write, reads = self._locations.get(location, (None, {}))
+
+            def conflicts(other: Access) -> bool:
+                return (other.tid != tid
+                        and not vc_leq(other.clock, me.clock)
+                        and not (other.lockset & me.lockset))
+
+            racy: Optional[Access] = None
+            if last_write is not None and conflicts(last_write):
+                racy = last_write
+            if racy is None and is_write:
+                for r in reads.values():
+                    if conflicts(r):
+                        racy = r
+                        break
+            if racy is not None:
+                err = RaceError(
+                    f"data race on {location!r}: "
+                    f"{me.kind} by thread {tid} at {me.site} is unordered "
+                    f"with {racy.kind} by thread {racy.tid} at {racy.site} "
+                    f"(no happens-before edge, disjoint locksets)",
+                    me, racy)
+                self.races.append(err)
+                raise err
+
+            if is_write:
+                self._locations[location] = (me, {})
+            else:
+                if len(reads) >= self.MAX_READS:
+                    reads.pop(next(iter(reads)))
+                reads[tid] = me
+                self._locations[location] = (last_write, reads)
+
+    # -- reporting ------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        with self._mu:
+            return {
+                "enabled": True,
+                "threads_seen": len(self._clocks),
+                "locations_tracked": len(self._locations),
+                "accesses_checked": self.n_accesses,
+                "hb_edges": self.n_edges,
+                "races_detected": len(self.races),
+            }
+
+
+# ----------------------------------------------------------------------
+# Global switch
+# ----------------------------------------------------------------------
+_detector: Optional[Detector] = None
+
+
+def enable() -> Detector:
+    """Install a fresh detector; subsequent runtime ops are instrumented."""
+    global _detector
+    _detector = Detector()
+    return _detector
+
+
+def disable() -> None:
+    global _detector
+    _detector = None
+
+
+def enabled() -> bool:
+    return _detector is not None
+
+
+def get() -> Optional[Detector]:
+    """The active detector, or ``None`` — the runtime's fast-path check."""
+    return _detector
+
+
+@contextmanager
+def sanitize() -> Iterator[Detector]:
+    """Run a block under a fresh detector, restoring the previous state."""
+    global _detector
+    prev = _detector
+    det = Detector()
+    _detector = det
+    try:
+        yield det
+    finally:
+        _detector = prev
+
+
+def status() -> Dict[str, object]:
+    """Sanitizer status for ``--stats-json`` (works enabled or not)."""
+    det = _detector
+    if det is None:
+        return {"enabled": False}
+    return det.status()
+
+
+# ----------------------------------------------------------------------
+# One-line instrumentation hooks for the runtime (no-ops when disabled).
+# ----------------------------------------------------------------------
+def note_acquire(lock: object) -> None:
+    det = _detector
+    if det is not None:
+        det.acquire(lock)
+
+
+def note_release(lock: object) -> None:
+    det = _detector
+    if det is not None:
+        det.release(lock)
+
+
+def note_access(location: object, is_write: bool) -> None:
+    det = _detector
+    if det is not None:
+        det.access(location, is_write)
+
+
+def note_send() -> Optional[VectorClock]:
+    """Clock snapshot to attach to an outgoing message (None if off)."""
+    det = _detector
+    if det is not None:
+        return det.send()
+    return None
+
+
+def note_recv(snapshot: Optional[VectorClock]) -> None:
+    det = _detector
+    if det is not None:
+        det.recv(snapshot)
+
+
+def note_barrier_begin(key: object) -> None:
+    det = _detector
+    if det is not None:
+        det.barrier_begin(key)
+
+
+def note_barrier_end(key: object) -> None:
+    det = _detector
+    if det is not None:
+        det.barrier_end(key)
+
+
+if os.environ.get("REPRO_SANITIZE", "") == "1":
+    enable()

@@ -23,6 +23,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..lint import tsan
+
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "ThreadComm", "run_spmd",
            "CommError"]
 
@@ -39,6 +41,9 @@ class Message:
     source: int
     tag: int
     payload: Any
+    #: sender's vector-clock snapshot under ``REPRO_SANITIZE=1`` (the
+    #: happens-before edge of the transfer); ``None`` otherwise.
+    clock: Any = None
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -105,7 +110,8 @@ class ThreadComm:
             raise CommError(f"bad destination rank {dest}")
         self._shared.bytes_sent[self.rank] += payload_nbytes(obj)
         self._shared.msgs_sent[self.rank] += 1
-        self._shared.queues[dest].put(Message(self.rank, tag, obj))
+        self._shared.queues[dest].put(
+            Message(self.rank, tag, obj, tsan.note_send()))
 
     @property
     def bytes_sent(self) -> int:
@@ -120,6 +126,7 @@ class ThreadComm:
         # Check the stash first.
         for i, m in enumerate(self._stash):
             if self._matches(m, source, tag):
+                tsan.note_recv(m.clock)
                 return self._stash.pop(i)
         while True:
             try:
@@ -127,6 +134,7 @@ class ThreadComm:
             except queue.Empty:
                 raise CommError("recv timed out") from None
             if self._matches(m, source, tag):
+                tsan.note_recv(m.clock)
                 return m
             self._stash.append(m)
 
@@ -151,23 +159,42 @@ class ThreadComm:
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
+    def _barrier_wait(self) -> None:
+        """Barrier with sanitizer happens-before edges.
+
+        Entering publishes this thread's clock; leaving joins every
+        participant's entry clock — so box accesses separated by a
+        barrier are ordered without needing the lock.
+        """
+        bar = self._shared.barrier
+        tsan.note_barrier_begin(id(bar))
+        bar.wait()
+        tsan.note_barrier_end(id(bar))
+
     def barrier(self) -> None:
-        self._shared.barrier.wait()
+        self._barrier_wait()
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         sh = self._shared
         if self.rank == root:
             with sh.lock:
+                tsan.note_acquire(sh.lock)
+                tsan.note_access(("bcast_box", root), True)
                 sh.bcast_box[root] = obj
-        sh.barrier.wait()
-        out = sh.bcast_box[root]
-        sh.barrier.wait()
+                tsan.note_release(sh.lock)
+        self._barrier_wait()
+        tsan.note_access(("bcast_box", root), False)
+        out = sh.bcast_box[root]  # lint: disable=R6 -- barrier-ordered read after the root's locked write; verified by the runtime sanitizer
+        self._barrier_wait()
         if self.rank == root:
             with sh.lock:
+                tsan.note_acquire(sh.lock)
+                tsan.note_access(("bcast_box", root), True)
                 sh.bcast_box.pop(root, None)
+                tsan.note_release(sh.lock)
         # Third barrier: cleanup must complete before any rank can start
         # the next collective (otherwise the pop races with its write).
-        sh.barrier.wait()
+        self._barrier_wait()
         return out
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
@@ -176,17 +203,26 @@ class ThreadComm:
             sh.bytes_sent[self.rank] += payload_nbytes(obj)
             sh.msgs_sent[self.rank] += 1
         with sh.lock:
+            tsan.note_acquire(sh.lock)
+            tsan.note_access(("gather_box", root, self.rank), True)
             sh.gather_box.setdefault(root, {})[self.rank] = obj
-        sh.barrier.wait()
+            tsan.note_release(sh.lock)
+        self._barrier_wait()
         out = None
         if self.rank == root:
-            box = sh.gather_box[root]
+            for r in range(self.size):
+                tsan.note_access(("gather_box", root, r), False)
+            box = sh.gather_box[root]  # lint: disable=R6 -- barrier-ordered read after every rank's locked write; verified by the runtime sanitizer
             out = [box[r] for r in range(self.size)]
-        sh.barrier.wait()
+        self._barrier_wait()
         if self.rank == root:
             with sh.lock:
+                tsan.note_acquire(sh.lock)
+                for r in range(self.size):
+                    tsan.note_access(("gather_box", root, r), True)
                 sh.gather_box.pop(root, None)
-        sh.barrier.wait()
+                tsan.note_release(sh.lock)
+        self._barrier_wait()
         return out
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
@@ -198,14 +234,21 @@ class ThreadComm:
                 payload_nbytes(o) for i, o in enumerate(objs) if i != root)
             sh.msgs_sent[root] += self.size - 1
             with sh.lock:
+                tsan.note_acquire(sh.lock)
+                tsan.note_access(("bcast_box", "scatter", root), True)
                 sh.bcast_box[("scatter", root)] = list(objs)
-        sh.barrier.wait()
-        out = sh.bcast_box[("scatter", root)][self.rank]
-        sh.barrier.wait()
+                tsan.note_release(sh.lock)
+        self._barrier_wait()
+        tsan.note_access(("bcast_box", "scatter", root), False)
+        out = sh.bcast_box[("scatter", root)][self.rank]  # lint: disable=R6 -- barrier-ordered read after the root's locked write; verified by the runtime sanitizer
+        self._barrier_wait()
         if self.rank == root:
             with sh.lock:
+                tsan.note_acquire(sh.lock)
+                tsan.note_access(("bcast_box", "scatter", root), True)
                 sh.bcast_box.pop(("scatter", root), None)
-        sh.barrier.wait()
+                tsan.note_release(sh.lock)
+        self._barrier_wait()
         return out
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
@@ -215,15 +258,24 @@ class ThreadComm:
             op = lambda a, b: a + b  # noqa: E731
         sh = self._shared
         with sh.lock:
+            tsan.note_acquire(sh.lock)
+            tsan.note_access(("reduce_box", 0, self.rank), True)
             sh.reduce_box.setdefault(0, {})[self.rank] = value
-        sh.barrier.wait()
-        vals = [sh.reduce_box[0][r] for r in range(self.size)]
+            tsan.note_release(sh.lock)
+        self._barrier_wait()
+        for r in range(self.size):
+            tsan.note_access(("reduce_box", 0, r), False)
+        vals = [sh.reduce_box[0][r] for r in range(self.size)]  # lint: disable=R6 -- barrier-ordered read after every rank's locked write; verified by the runtime sanitizer
         out = functools.reduce(op, vals)
-        sh.barrier.wait()
+        self._barrier_wait()
         if self.rank == 0:
             with sh.lock:
+                tsan.note_acquire(sh.lock)
+                for r in range(self.size):
+                    tsan.note_access(("reduce_box", 0, r), True)
                 sh.reduce_box.pop(0, None)
-        sh.barrier.wait()
+                tsan.note_release(sh.lock)
+        self._barrier_wait()
         return out
 
 

@@ -39,6 +39,7 @@ __all__ = [
     "current",
     "use_counters",
     "phase",
+    "timed",
 ]
 
 
@@ -230,16 +231,19 @@ class Counters:
         self.events: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    def note_phase(self, name: str, dt: float) -> None:
+        """Record ``dt`` seconds against phase ``name`` (thread-safe)."""
+        with self._lock:
+            self.phases[name] = self.phases.get(name, 0.0) + dt
+            self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         t0 = time.perf_counter()
         try:
             yield
         finally:
-            dt = time.perf_counter() - t0
-            with self._lock:
-                self.phases[name] = self.phases.get(name, 0.0) + dt
-                self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+            self.note_phase(name, time.perf_counter() - t0)
 
     def absorb_kernel(self, tri) -> None:
         with self._lock:
@@ -313,3 +317,34 @@ def phase(name: str) -> Iterator[None]:
     else:
         with sink.phase(name):
             yield
+
+
+class timed:
+    """Wall-time a block *and* report it as a phase to the ambient sink.
+
+    The single sanctioned wall-clock read point outside this module (lint
+    rule R5): algorithm code that needs an elapsed figure — the pipeline's
+    per-stage ``timings`` dict, the CLI's total — opens a ``timed`` block
+    instead of pairing raw ``time.perf_counter()`` calls, so ``--profile``
+    can never miss a stage that user-facing timings report.
+
+    >>> with timed("refinement") as t:
+    ...     ...
+    >>> t.elapsed  # seconds, also accumulated into the ambient Counters
+    """
+
+    __slots__ = ("name", "elapsed", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "timed":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        sink = _current
+        if sink is not None:
+            sink.note_phase(self.name, self.elapsed)

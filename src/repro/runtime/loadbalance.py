@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..lint import tsan
 from .comm import ANY_SOURCE, ANY_TAG, Message, ThreadComm
 from .rma import Window
 
@@ -205,6 +206,10 @@ class DistributedWorker:
             if len(self.queue):
                 item = self.queue.pop_largest()
                 self._publish_load()
+                # Sanitizer: claiming an item is a write to its identity.
+                # A duplicated item (kept AND donated) would be claimed by
+                # two ranks with no happens-before edge -> reported race.
+                tsan.note_access(("workitem", item.item_id), True)
                 result, spawned = self.process(item)
                 # +spawned -1 in ONE atomic op: the counter can never dip
                 # to zero while spawned work is in flight.

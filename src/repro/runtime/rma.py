@@ -11,6 +11,12 @@ guarded by a lock: ``put``/``get``/``accumulate``/``fetch_and_op`` have
 MPI passive-target semantics (atomic with respect to each other, no
 involvement of the host rank — the defining property of RMA the paper
 exploits for zero-copy, low-latency transfers).
+
+``local_load``/``local_store`` model MPI's *local* access to one's own
+window memory — direct loads/stores with **no** lock epoch, legal in MPI
+only when other synchronization orders them against remote epochs.  All
+window operations are instrumented for :mod:`repro.lint.tsan`
+(``REPRO_SANITIZE=1``), which verifies that discipline at runtime.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ import threading
 from typing import Callable, Optional, Tuple
 
 import numpy as np
+
+from ..lint import tsan
 
 __all__ = ["Window"]
 
@@ -33,34 +41,55 @@ class Window:
         self._data = np.zeros(size, dtype=np.float64)
         self._lock = threading.Lock()
 
+    def _slot(self, offset: int) -> Tuple[str, int, int]:
+        """Sanitizer location key for one window slot."""
+        return ("rma.win", id(self), int(offset))
+
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._data)  # lint: disable=R6 -- window size is immutable after construction; no lock needed
 
     def put(self, value: float, offset: int) -> None:
         """MPI_Put of a single value (lock/put/unlock epoch)."""
         with self._lock:
+            tsan.note_acquire(self._lock)
+            tsan.note_access(self._slot(offset), True)
             self._data[offset] = value
+            tsan.note_release(self._lock)
 
     def put_many(self, values: np.ndarray, offset: int = 0) -> None:
         values = np.asarray(values, dtype=np.float64)
         with self._lock:
+            tsan.note_acquire(self._lock)
+            for i in range(offset, offset + len(values)):
+                tsan.note_access(self._slot(i), True)
             self._data[offset:offset + len(values)] = values
+            tsan.note_release(self._lock)
 
     def get(self, offset: Optional[int] = None) -> np.ndarray:
         """MPI_Get: snapshot the window (or one slot) into local memory."""
         with self._lock:
-            if offset is None:
-                return self._data.copy()
-            return self._data[offset:offset + 1].copy()
+            tsan.note_acquire(self._lock)
+            try:
+                if offset is None:
+                    for i in range(len(self._data)):
+                        tsan.note_access(self._slot(i), False)
+                    return self._data.copy()
+                tsan.note_access(self._slot(offset), False)
+                return self._data[offset:offset + 1].copy()
+            finally:
+                tsan.note_release(self._lock)
 
     def accumulate(self, value: float, offset: int,
                    op: Callable[[float, float], float] = None) -> None:
         """MPI_Accumulate (default op: sum), atomic."""
         with self._lock:
+            tsan.note_acquire(self._lock)
+            tsan.note_access(self._slot(offset), True)
             if op is None:
                 self._data[offset] += value
             else:
                 self._data[offset] = op(float(self._data[offset]), value)
+            tsan.note_release(self._lock)
 
     def fetch_and_op(self, value: float, offset: int) -> float:
         """MPI_Fetch_and_op (sum): returns the pre-update value, atomic.
@@ -69,14 +98,38 @@ class Window:
         counting (outstanding-work counter).
         """
         with self._lock:
+            tsan.note_acquire(self._lock)
+            tsan.note_access(self._slot(offset), True)
             old = float(self._data[offset])
             self._data[offset] = old + value
+            tsan.note_release(self._lock)
             return old
 
     def compare_and_swap(self, expect: float, desired: float,
                          offset: int) -> float:
         with self._lock:
+            tsan.note_acquire(self._lock)
+            tsan.note_access(self._slot(offset), True)
             old = float(self._data[offset])
             if old == expect:
                 self._data[offset] = desired
+            tsan.note_release(self._lock)
             return old
+
+    # ------------------------------------------------------------------
+    # MPI-style local window access (deliberately NOT an RMA epoch).
+    # ------------------------------------------------------------------
+    def local_load(self, offset: int) -> float:
+        """Direct load of one's own window memory, outside any epoch.
+
+        In MPI this is only correct when other synchronization orders it
+        against concurrent remote epochs; the runtime sanitizer checks
+        that discipline (this is the access the racy test fixture uses).
+        """
+        tsan.note_access(self._slot(offset), False)
+        return float(self._data[offset])  # lint: disable=R6 -- deliberately unlocked MPI local load; ordering checked by the runtime sanitizer
+
+    def local_store(self, value: float, offset: int) -> None:
+        """Direct store to one's own window memory, outside any epoch."""
+        tsan.note_access(self._slot(offset), True)
+        self._data[offset] = value  # lint: disable=R6 -- deliberately unlocked MPI local store; ordering checked by the runtime sanitizer

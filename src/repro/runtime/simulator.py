@@ -220,7 +220,10 @@ def simulate(tasks: Sequence[SimTask], n_ranks: int,
             # or the run is draining and they should re-check termination.
             if hungry and config.stealing:
                 delay = config.poll_period  # window-update latency
-                for h in list(hungry):
+                # Sorted wake order (lint R4): the steal schedule must not
+                # depend on set hash order, or simulated timelines drift
+                # between runs.
+                for h in sorted(hungry):
                     push(now + delay, "try_steal", h)
                 hungry.clear()
         elif kind == "try_steal":

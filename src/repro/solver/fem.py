@@ -45,7 +45,13 @@ def gradients(mesh: TriMesh) -> Tuple[np.ndarray, np.ndarray]:
         (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1])
         - (b[:, 1] - a[:, 1]) * (c[:, 0] - a[:, 0])
     )
-    if np.any(area2 == 0.0):
+    # Degeneracy is decided by the exact predicate (a float determinant
+    # near the rounding threshold can read 0.0 for a valid sliver); the
+    # exact_eq guard additionally rejects underflowed float areas that
+    # would poison the division below even when the exact sign is nonzero.
+    from ..geometry.predicates import exact_eq, orient2d_batch
+
+    if np.any(orient2d_batch(a, b, c) == 0) or np.any(exact_eq(area2, 0.0)):
         raise ValueError("degenerate element in FEM mesh")
     # grad phi_i = perp(edge opposite i) / (2A), with orientation so the
     # gradient points from the opposite edge toward vertex i.

@@ -1,0 +1,46 @@
+"""The repository's own tree must lint clean — the CI gate, as a test.
+
+If this fails, either new code violated an invariant (fix the code) or a
+rule grew a false positive (fix the rule, or pragma the line with a
+one-line justification).
+"""
+
+from pathlib import Path
+
+import json
+
+from repro.lint import run_lint
+from repro.lint.__main__ import main as lint_main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_lints_clean():
+    findings, n_files = run_lint([str(REPO / "src")])
+    assert n_files > 50  # the scan actually covered the tree
+    assert findings == [], "\n" + "\n".join(f.format_text() for f in findings)
+
+
+def test_tests_lint_clean():
+    findings, _ = run_lint([str(REPO / "tests")])
+    assert findings == [], "\n" + "\n".join(f.format_text() for f in findings)
+
+
+def test_cli_json_output(capsys):
+    rc = lint_main([str(REPO / "src" / "repro" / "lint"), "--format=json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["n_findings"] == 0
+    assert payload["files_scanned"] >= 4
+    assert {r["id"] for r in payload["rules"]} >= {"R1", "R2", "R3",
+                                                   "R4", "R5", "R6"}
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "repro" / "delaunay" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\n")
+    assert lint_main([str(bad)]) == 1
+    assert lint_main([str(bad), "--select", "R5"]) == 0  # other rule only
+    assert lint_main([str(bad), "--select", "NOPE"]) == 2
+    capsys.readouterr()  # drain
