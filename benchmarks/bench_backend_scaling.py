@@ -1,0 +1,182 @@
+"""Backend scaling benchmark: serial vs threads vs processes.
+
+The tentpole claim of the executor layer is that the ``processes``
+backend delivers real wall-clock speedup for the paper's headline
+workload — independent Ruppert refinement of decoupled subdomains —
+where the ``threads`` backend cannot (the GIL serializes pure-Python
+refinement; it models the runtime, not the hardware).
+
+The full case is a NACA 0012 push-button mesh tuned so no single
+subdomain dominates (near-body ~22% of refinement work, largest
+inviscid subdomain ~12%): ≥50k triangles across 32 decoupled
+subdomains.  Each backend refines the *identical* subdomain set, so the
+triangle counts must agree exactly — measured here as a parity check.
+
+Acceptance gate: ``processes`` at 4 workers must beat ``serial`` by
+>= 1.8x.  The gate is only *enforced* when the machine actually has
+>= 4 usable cores (``os.sched_getaffinity``) — on smaller machines the
+numbers are still measured and reported, but a speedup no hardware
+could deliver is not demanded.
+
+Emits ``BENCH_backend_scaling.json`` next to the repo root (one
+trajectory point per run) and prints a table.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.bl_pipeline import BoundaryLayerConfig  # noqa: E402
+from repro.core.pipeline import MeshConfig, generate_mesh  # noqa: E402
+from repro.geometry.airfoils import naca0012  # noqa: E402
+from repro.geometry.pslg import PSLG  # noqa: E402
+
+GATE_SPEEDUP = 1.8
+GATE_WORKERS = 4
+GATE_MIN_TRIANGLES = 50_000
+
+
+def full_case():
+    """~60k triangles over 32 subdomains, flat load profile (~10s serial)."""
+    pslg = PSLG.from_loops([naca0012(121)])
+    config = MeshConfig(
+        bl=BoundaryLayerConfig(first_spacing=1e-3, growth_ratio=1.3,
+                               max_layers=25),
+        farfield_chords=30.0,
+        grading=0.05,
+        h_max_chords=1.2,
+        nearbody_margin_chords=0.25,
+        target_subdomains=32,
+    )
+    return pslg, config
+
+
+def smoke_case():
+    """CI smoke: same shape, a few seconds end to end."""
+    pslg = PSLG.from_loops([naca0012(61)])
+    config = MeshConfig(
+        bl=BoundaryLayerConfig(first_spacing=2e-3, growth_ratio=1.4,
+                               max_layers=12),
+        farfield_chords=10.0,
+        target_subdomains=12,
+    )
+    return pslg, config
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workers", type=int, default=GATE_WORKERS,
+                    help=f"parallel worker count (default {GATE_WORKERS})")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI smoke: small case, gate reported but never "
+                    "enforced")
+    ap.add_argument("--skip-threads", action="store_true",
+                    help="skip the GIL-bound threads backend (it only "
+                    "demonstrates the baseline the processes backend "
+                    "beats)")
+    ap.add_argument("--out", type=Path,
+                    default=REPO_ROOT / "BENCH_backend_scaling.json",
+                    help="JSON output path")
+    ap.add_argument("--no-check", action="store_true",
+                    help="report only; never fail the gate")
+    args = ap.parse_args(argv)
+
+    pslg, config = smoke_case() if args.smoke else full_case()
+    backends = ["serial", "threads", "processes"]
+    if args.skip_threads:
+        backends.remove("threads")
+
+    cpus = usable_cpus()
+    times = {}
+    triangles = {}
+    for name in backends:
+        t0 = time.perf_counter()
+        result = generate_mesh(pslg, config, backend=name,
+                               n_ranks=args.workers)
+        dt = time.perf_counter() - t0
+        times[name] = dt
+        triangles[name] = result.mesh.n_triangles
+        refine = result.timings["refinement"]
+        print(f"  {name:<10}  total {dt:7.2f}s  refinement {refine:7.2f}s"
+              f"  ({result.mesh.n_triangles} triangles)")
+
+    ok = True
+    if len(set(triangles.values())) != 1:
+        print(f"FAIL: backends disagree on triangle count: {triangles}")
+        ok = False
+
+    serial_t = times["serial"]
+    speedups = {n: serial_t / times[n] for n in backends if n != "serial"}
+    for name, s in sorted(speedups.items()):
+        print(f"  speedup {name} vs serial at {args.workers} workers: "
+              f"{s:.2f}x")
+
+    n_tris = triangles["serial"]
+    gate_applicable = (not args.smoke and not args.no_check
+                       and "processes" in times
+                       and args.workers >= GATE_WORKERS
+                       and n_tris >= GATE_MIN_TRIANGLES)
+    gate_enforced = gate_applicable and cpus >= GATE_WORKERS
+    gate_passed = None
+    if "processes" in speedups:
+        gate_passed = speedups["processes"] >= GATE_SPEEDUP
+    if gate_enforced:
+        if gate_passed:
+            print(f"PASS: processes speedup {speedups['processes']:.2f}x "
+                  f">= {GATE_SPEEDUP}x")
+        else:
+            print(f"FAIL: processes speedup {speedups['processes']:.2f}x "
+                  f"< {GATE_SPEEDUP}x on {cpus} cpus")
+            ok = False
+    elif gate_applicable:
+        print(f"gate skipped ({cpus} usable cpus < {GATE_WORKERS}; "
+              f"measured {speedups.get('processes', 0.0):.2f}x, "
+              "no hardware to demand more from)")
+    else:
+        print("gate not applicable (smoke/no-check/small case)")
+
+    payload = {
+        "bench": "backend_scaling",
+        "case": {
+            "geometry": "naca0012",
+            "surface_points": len(pslg.points),
+            "target_subdomains": config.target_subdomains,
+            "smoke": bool(args.smoke),
+        },
+        "cpus": cpus,
+        "workers": args.workers,
+        "n_triangles": n_tris,
+        "seconds": {n: round(t, 3) for n, t in times.items()},
+        "speedup_vs_serial": {n: round(s, 3) for n, s in speedups.items()},
+        "gate": {
+            "threshold": GATE_SPEEDUP,
+            "enforced": bool(gate_enforced),
+            "passed": gate_passed,
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from .geometry.airfoils import naca4, three_element_airfoil
 from .geometry.pslg import PSLG
 from .io.meshio import read_poly, write_mesh_ascii, write_mesh_npz
 from .lint import RULESET_VERSION, rule_ids, tsan
+from .runtime import executor
 from .runtime.counters import timed
 
 __all__ = ["main", "build_parser"]
@@ -72,10 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grading", type=float, default=0.35)
     p.add_argument("--subdomains", type=int, default=16,
                    help="decoupled inviscid subdomain count")
-    p.add_argument("--backend", choices=["local", "threads"],
-                   default="local")
-    p.add_argument("--ranks", type=int, default=4,
-                   help="rank count for the threads backend")
+    p.add_argument("--backend", choices=executor.available_backends(),
+                   default=None,
+                   help="refinement executor (default: $REPRO_BACKEND or "
+                   "local); 'threads' models the paper's MPI ranks but is "
+                   "GIL-bound, 'processes' runs GIL-free workers")
+    p.add_argument("--ranks", type=int, default=None,
+                   help="worker count for the parallel backends "
+                   "(default 4); rejected with --backend local/serial")
     p.add_argument("-o", "--output", required=True,
                    help="output base path (no extension)")
     p.add_argument("--format", choices=["ascii", "npz", "vtk", "both"],
@@ -130,7 +135,25 @@ def _load_geometry(args: argparse.Namespace) -> PSLG:
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    backend = executor.resolve_backend_name(args.backend)
+    try:
+        backend_impl = executor.get_backend(backend)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.ranks is not None and not backend_impl.parallel:
+        parser.error(
+            f"--ranks only applies to parallel backends; --backend "
+            f"{backend} runs in-process (drop --ranks or pick one of: "
+            + ", ".join(sorted(n for n in executor.available_backends()
+                               if executor.get_backend(n).parallel)) + ")")
+    if args.sanitize and not backend_impl.supports_sanitizer:
+        parser.error(
+            f"--sanitize instruments shared-memory backends only; "
+            f"--backend {backend} shares no mutable state to instrument "
+            "(use --backend threads to race-check the runtime)")
+    n_ranks = args.ranks if args.ranks is not None else 4
     pslg = _load_geometry(args)
     config = MeshConfig(
         bl=BoundaryLayerConfig(
@@ -150,13 +173,15 @@ def main(argv=None) -> int:
         if args.profile:
             from .runtime.counters import use_counters
 
+            # Worker counter snapshots (including from the processes
+            # backend's separate address spaces) merge into this sink.
             with use_counters() as profile_sink:
-                result = generate_mesh(pslg, config, backend=args.backend,
-                                       n_ranks=args.ranks)
+                result = generate_mesh(pslg, config, backend=backend,
+                                       n_ranks=n_ranks)
         else:
             profile_sink = None
-            result = generate_mesh(pslg, config, backend=args.backend,
-                                   n_ranks=args.ranks)
+            result = generate_mesh(pslg, config, backend=backend,
+                                   n_ranks=n_ranks)
     elapsed = tm.elapsed
 
     out = Path(args.output)
@@ -180,6 +205,8 @@ def main(argv=None) -> int:
         print(mesh_report(result.mesh, surface=surface))
 
     summary = {
+        "backend": executor.canonical_backend_name(backend),
+        "n_ranks": n_ranks,
         "elapsed_s": round(elapsed, 3),
         "n_points": result.mesh.n_points,
         "n_triangles": result.mesh.n_triangles,

@@ -43,6 +43,7 @@ from ..sizing.functions import SizingFunction, decoupling_edge_length
 __all__ = [
     "DecoupledSubdomain",
     "march_path",
+    "ring_from_parts",
     "initial_quadrants",
     "decouple",
     "refine_subdomain",
@@ -160,7 +161,7 @@ def march_path(
     return np.asarray(pts, dtype=np.float64)
 
 
-def _ring_from_parts(parts: Sequence[np.ndarray]) -> np.ndarray:
+def ring_from_parts(parts: Sequence[np.ndarray]) -> np.ndarray:
     """Concatenate polyline parts (each ordered) into a closed CCW ring,
     dropping the duplicated junction vertices."""
     out: List[Tuple[float, float]] = []
@@ -212,7 +213,7 @@ def initial_quadrants(
     quads: List[DecoupledSubdomain] = []
     for c in range(4):
         n = (c + 1) % 4
-        ring = _ring_from_parts([
+        ring = ring_from_parts([
             diag[c],                      # inner corner -> outer corner
             outer[c],                     # along the far field
             diag[n][::-1],                # back inward
@@ -292,7 +293,7 @@ def plus_split(sub: DecoupledSubdomain, sizing: SizingFunction,
             slice_pts = ring[a0:a1 + 1]
         else:
             slice_pts = np.vstack([ring[a0:], ring[:a1 + 1]])
-        child_ring = _ring_from_parts([
+        child_ring = ring_from_parts([
             slice_pts,
             paths[(q + 1) % 4][::-1],   # border anchor a1 -> centre
             paths[q],                   # centre -> anchor a0

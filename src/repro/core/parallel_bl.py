@@ -9,15 +9,23 @@ ordering is implicitly known by each process due to the structured
 configuration, only the coordinates need to be communicated to the root."
 
 This module runs the per-vertex stages (normals, ray refinement, growth
-insertion) SPMD over the in-process runtime:
+insertion) chunked over any executor backend:
 
-1. root broadcasts the PSLG and config;
+1. the input PSLG and config are made available to every worker (by
+   reference on the in-process backends, as serde buffer dicts on the
+   processes backend);
 2. every rank takes a contiguous chunk of each loop's vertices, extended
    by ONE overlap vertex on each side (so turn angles and the
    vertex-pair refinement of Section II.B are computable locally);
 3. ranks compute rays and layer heights for their chunk;
 4. the root gathers **coordinate arrays only** (float64 ``(n, 2)``), and
    because chunk order is implicit, reassembly is concatenation.
+
+The ``threads`` backend runs the historical SPMD path (explicit
+``gather`` on the communicator, byte-accounted); ``serial`` and
+``processes`` dispatch one work item per chunk through
+:mod:`repro.runtime.executor` — the result coordinate buffers are the
+only payload that crosses worker boundaries either way.
 
 Ray-to-ray intersection resolution needs global geometry, so — as in the
 paper, where it precedes point insertion — it runs on the root on the
@@ -32,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry.pslg import PSLG
+from ..runtime import executor, serde
 from ..runtime.comm import ThreadComm, run_spmd
 from .bl_pipeline import BoundaryLayerConfig
 from .normals import loop_surface_vertices
@@ -93,38 +102,93 @@ def _local_rays(pslg: PSLG, config: BoundaryLayerConfig, rank: int,
     return out
 
 
+def _chunk_coords(pslg: PSLG, config: BoundaryLayerConfig, rank: int,
+                  size: int) -> np.ndarray:
+    """All BL points of one chunk as a contiguous ``(n, 2)`` array."""
+    from .insertion import insert_points
+
+    owned = _local_rays(pslg, config, rank, size)
+    rays = [r for _, _, r in owned]
+    insert_points(
+        rays, config.growth_function(),
+        isotropy_factor=config.isotropy_factor,
+        max_layers=config.max_layers,
+        max_height=config.max_height,
+    )
+    # Coordinates-only payload: one contiguous float64 array.
+    coords: List[Tuple[float, float]] = []
+    for r in rays:
+        coords.append(r.origin)
+        coords.extend(r.point_at(h) for h in r.heights)
+    return np.asarray(coords, dtype=np.float64).reshape(-1, 2)
+
+
+def _bl_chunk_workitem(payload: serde.Buffers) -> serde.Buffers:
+    """Executor work function: BL points for one vertex chunk.
+
+    Module-level by contract (the processes backend imports it by path);
+    the result is the coordinates-only buffer the paper's gather ships.
+    """
+    pslg = serde.unpack_pslg(serde.unnest("pslg.", payload))
+    config = serde.unpack_bl_config(serde.unnest("blcfg.", payload))
+    rank, size = (int(x) for x in payload["chunk"])
+    return {"coords": _chunk_coords(pslg, config, rank, size)}
+
+
 def parallel_bl_points(
     pslg: PSLG,
     config: Optional[BoundaryLayerConfig] = None,
     *,
     n_ranks: int = 4,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, Dict[str, float]]:
-    """Compute all BL layer points SPMD; returns (coords, comm stats).
+    """Compute all BL layer points in parallel; returns (coords, stats).
 
     The returned array contains every ray origin and layer point in rank/
-    chunk order.  ``stats`` reports the gathered byte volume — the
-    quantity the paper's coordinates-only optimisation minimises.
+    chunk order — identical for every backend and rank count.  ``stats``
+    reports the gathered byte volume — the quantity the paper's
+    coordinates-only optimisation minimises.  ``backend`` accepts any
+    executor registry name; ``None`` falls back to ``REPRO_BACKEND``,
+    then ``threads`` (the SPMD path with explicit communicator gather).
     """
     config = config or BoundaryLayerConfig()
-    growth = config.growth_function()
+    backend_name = executor.canonical_backend_name(
+        executor.resolve_backend_name(backend, default="threads"))
+    if backend_name == "threads":
+        return _parallel_bl_points_spmd(pslg, config, n_ranks)
+
+    payload_base = serde.nest("pslg.", serde.pack_pslg(pslg))
+    payload_base.update(serde.nest("blcfg.", serde.pack_bl_config(config)))
+    payloads = [
+        {**payload_base,
+         "chunk": np.asarray([rank, n_ranks], dtype=np.int32)}
+        for rank in range(n_ranks)
+    ]
+    results = executor.get_backend(backend_name).map_workitems(
+        _bl_chunk_workitem, payloads, n_ranks=n_ranks)
+    chunks = [r["coords"] for r in results]
+    coords = np.vstack([c for c in chunks if len(c)])
+    # The wire payload is the same coordinates-only volume the SPMD
+    # gather accounts: one (n, 2) float64 buffer per non-root chunk
+    # (the root's own chunk never crosses a boundary in a gather).
+    total_bytes = sum(int(c.nbytes) for c in chunks[1:])
+    stats = {
+        "n_points": float(len(coords)),
+        "gather_bytes": float(total_bytes),
+        "bytes_per_point": float(total_bytes) / max(len(coords), 1),
+    }
+    return coords, stats
+
+
+def _parallel_bl_points_spmd(
+    pslg: PSLG,
+    config: BoundaryLayerConfig,
+    n_ranks: int,
+) -> Tuple[np.ndarray, Dict[str, float]]:
+    """The SPMD threads path: explicit communicator gather on the root."""
 
     def fn(comm: ThreadComm):
-        owned = _local_rays(pslg, config, comm.rank, comm.size)
-        from .insertion import insert_points
-
-        rays = [r for _, _, r in owned]
-        insert_points(
-            rays, growth,
-            isotropy_factor=config.isotropy_factor,
-            max_layers=config.max_layers,
-            max_height=config.max_height,
-        )
-        # Coordinates-only payload: one contiguous float64 array.
-        coords: List[Tuple[float, float]] = []
-        for r in rays:
-            coords.append(r.origin)
-            coords.extend(r.point_at(h) for h in r.heights)
-        payload = np.asarray(coords, dtype=np.float64).reshape(-1, 2)
+        payload = _chunk_coords(pslg, config, comm.rank, comm.size)
         gathered = comm.gather(payload, root=0)
         comm.barrier()
         if comm.rank == 0:

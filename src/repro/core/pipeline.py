@@ -8,9 +8,12 @@ Composes every stage of the paper's Section II in order:
    near-body box;
 3. graded Delaunay decoupling of the inviscid far field into the four
    quadrants and their '+'-split descendants;
-4. independent Ruppert refinement of every decoupled subdomain — run
-   sequentially (``backend="local"``) or over the SPMD threads runtime
-   with RMA-window work stealing (``backend="threads"``);
+4. independent Ruppert refinement of every decoupled subdomain,
+   dispatched through the pluggable executor layer
+   (:mod:`repro.runtime.executor`): sequential (``backend="local"``),
+   the SPMD threads runtime with RMA-window work stealing
+   (``backend="threads"``), or GIL-free multiprocessing workers
+   (``backend="processes"``);
 5. merge into one conforming mesh.
 
 "The user only needs to provide the input configuration and wait for the
@@ -29,6 +32,8 @@ from ..delaunay.mesh import TriMesh, merge_meshes
 from ..delaunay.refine import RUPPERT_BOUND
 from ..geometry.aabb import AABB
 from ..geometry.pslg import PSLG
+from ..runtime import executor
+from ..runtime import serde
 from ..runtime.counters import timed
 from ..sizing.functions import GradedDistanceSizing
 from .bl_pipeline import (
@@ -44,6 +49,7 @@ from .decouple import (
     initial_quadrants,
     march_path,
     refine_subdomain,
+    ring_from_parts,
 )
 
 __all__ = ["MeshConfig", "MeshResult", "generate_mesh"]
@@ -92,11 +98,20 @@ def generate_mesh(
     pslg: PSLG,
     config: Optional[MeshConfig] = None,
     *,
-    backend: str = "local",
+    backend: Optional[str] = None,
     n_ranks: int = 4,
 ) -> MeshResult:
-    """Generate the full hybrid mesh for ``pslg`` (all body loops)."""
+    """Generate the full hybrid mesh for ``pslg`` (all body loops).
+
+    ``backend`` selects the refinement executor (any name from
+    :func:`repro.runtime.executor.available_backends`); ``None`` falls
+    back to the ``REPRO_BACKEND`` environment variable, then ``local``.
+    Every backend produces the identical mesh — the subdomains are
+    decoupled, so execution order cannot change the result.
+    """
     config = config or MeshConfig()
+    backend_impl = executor.get_backend(
+        executor.resolve_backend_name(backend))
     timings: Dict[str, float] = {}
     chord = pslg.chord_length()
 
@@ -134,9 +149,7 @@ def generate_mesh(
             march_path(corners[i], corners[(i + 1) % 4], sizing)
             for i in range(4)
         ]
-        from .decouple import _ring_from_parts
-
-        nb_ring = _ring_from_parts(nb_ring_parts)
+        nb_ring = ring_from_parts(nb_ring_parts)
         nearbody = DecoupledSubdomain(
             ring=nb_ring,
             hole_rings=[np.asarray(ob) for ob in bl.outer_borders],
@@ -157,20 +170,25 @@ def generate_mesh(
     timings["decoupling"] = tm.elapsed
 
     # ------------------------------------------------------------------
-    # 5. Refine everything (near-body + inviscid subdomains).
+    # 5. Refine everything (near-body + inviscid subdomains) through the
+    #    executor layer: each work item is one serde-packed subdomain,
+    #    each result one packed mesh, ordered like the inputs.
     # ------------------------------------------------------------------
     work = [nearbody] + list(subdomains)
     with timed("refinement") as tm:
-        if backend == "local":
-            meshes = [
-                refine_subdomain(s, sizing, quality_bound=config.quality_bound,
-                                 max_steiner=config.max_steiner)
-                for s in work
-            ]
-        elif backend == "threads":
-            meshes = _refine_parallel(work, sizing, config, n_ranks)
-        else:
-            raise ValueError(f"unknown backend: {backend}")
+        payloads = [
+            _pack_refine_item(s, sizing, config.quality_bound,
+                              config.max_steiner)
+            for s in work
+        ]
+        costs = [
+            s.est_triangles if s.est_triangles > 0.0
+            else max(estimate_triangles(s, sizing), 1.0)
+            for s in work
+        ]
+        packed = backend_impl.map_workitems(_refine_workitem, payloads,
+                                            costs=costs, n_ranks=n_ranks)
+        meshes = [serde.unpack_mesh(b) for b in packed]
     timings["refinement"] = tm.elapsed
 
     # ------------------------------------------------------------------
@@ -200,46 +218,27 @@ def generate_mesh(
     )
 
 
-def _refine_parallel(work: List[DecoupledSubdomain], sizing, config,
-                     n_ranks: int) -> List[TriMesh]:
-    """Refine subdomains over the SPMD threads runtime with stealing."""
-    from ..runtime.comm import run_spmd
-    from ..runtime.loadbalance import DistributedWorker, WorkItem
-    from ..runtime.rma import Window
+def _pack_refine_item(sub: DecoupledSubdomain, sizing,
+                      quality_bound: float,
+                      max_steiner: int) -> serde.Buffers:
+    """One refinement work item as a flat buffer dict (process-safe)."""
+    payload = serde.nest("sub.", serde.pack_subdomain(sub))
+    payload.update(serde.nest("sizing.", serde.pack_sizing(sizing)))
+    payload["params"] = np.asarray([quality_bound, float(max_steiner)],
+                                   dtype=np.float64)
+    return payload
 
-    load_w = Window(n_ranks)
-    counter_w = Window(1)
-    counter_w.put(float(len(work)), 0)
-    items = [
-        WorkItem(
-            cost=max(estimate_triangles(s, sizing), 1.0),
-            payload=(i, s),
-            kind="inviscid",
-        )
-        for i, s in enumerate(work)
-    ]
 
-    def process(item: WorkItem):
-        idx, sub = item.payload
-        mesh = refine_subdomain(sub, sizing,
-                                quality_bound=config.quality_bound,
-                                max_steiner=config.max_steiner)
-        return (idx, mesh), []
+def _refine_workitem(payload: serde.Buffers) -> serde.Buffers:
+    """Executor work function: refine one packed subdomain.
 
-    def fn(comm):
-        worker = DistributedWorker(comm, load_w, counter_w, process,
-                                   steal_threshold=1.0)
-        if comm.rank == 0:
-            worker.seed(items)
-        comm.barrier()
-        return worker.run()
-
-    per_rank = run_spmd(n_ranks, fn)
-    out: List[Optional[TriMesh]] = [None] * len(work)
-    for results in per_rank:
-        for idx, mesh in results:
-            out[idx] = mesh
-    missing = [i for i, m in enumerate(out) if m is None]
-    if missing:
-        raise RuntimeError(f"subdomains {missing} were never refined")
-    return out  # type: ignore[return-value]
+    Module-level by contract — the processes backend resolves it by
+    import path in worker processes; the serde round trip is exact, so
+    every backend produces bit-identical meshes.
+    """
+    sub = serde.unpack_subdomain(serde.unnest("sub.", payload))
+    sizing = serde.unpack_sizing(serde.unnest("sizing.", payload))
+    quality_bound, max_steiner = (float(x) for x in payload["params"])
+    mesh = refine_subdomain(sub, sizing, quality_bound=quality_bound,
+                            max_steiner=int(max_steiner))
+    return serde.pack_mesh(mesh)

@@ -443,6 +443,14 @@ class LocksetRule(Rule):
     Fix: take the lock; or, for deliberately unsynchronised access
     (MPI-style local load/store), carry a pragma and run under
     ``REPRO_SANITIZE=1`` so :mod:`repro.lint.tsan` checks it dynamically.
+
+    Scope note: this rule (and the dynamic sanitizer that backs it)
+    governs *in-process* shared state — the ``serial`` and ``threads``
+    executor backends.  The ``processes`` backend's cross-process state
+    (:class:`repro.runtime.executor.LoadBoard`) is synchronised by a
+    ``multiprocessing`` lock the AST heuristic does recognise, but the
+    sanitizer cannot observe other processes' accesses; that backend
+    refuses to run under the sanitizer rather than vacuously passing.
     """
 
     id = "R6"

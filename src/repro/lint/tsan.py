@@ -31,6 +31,17 @@ the right thing for a sanitizer that runs in CI.
 Enable with the environment variable ``REPRO_SANITIZE=1`` (checked at
 import), programmatically with :func:`enable`/:func:`disable`, or
 scoped with the :func:`sanitize` context manager.
+
+Scope: the detector instruments **shared memory**, so it covers the
+``serial`` and ``threads`` executor backends only.  The ``processes``
+backend shares no state the detector can see — worker processes have
+their own address spaces and coordinate through an OS-level
+``multiprocessing`` lock/array the instrumentation does not reach — so
+running it under the sanitizer would produce a clean-but-vacuous
+report.  :class:`repro.runtime.executor.ProcessesBackend` therefore
+*fails fast* with an :class:`~repro.runtime.executor.ExecutorError`
+when the detector is enabled, and ``repro-mesh --sanitize --backend
+processes`` is rejected at argument parsing.
 """
 
 from __future__ import annotations
@@ -50,6 +61,7 @@ __all__ = [
     "enabled",
     "get",
     "sanitize",
+    "suspend",
     "status",
     "note_acquire",
     "note_release",
@@ -324,6 +336,24 @@ def sanitize() -> Iterator[Detector]:
     _detector = det
     try:
         yield det
+    finally:
+        _detector = prev
+
+
+@contextmanager
+def suspend() -> Iterator[None]:
+    """Run a block with the detector off, restoring it on exit.
+
+    For code that legitimately cannot run instrumented — e.g. driving
+    the ``processes`` executor backend (which fails fast under the
+    sanitizer by design) from a test session that is otherwise running
+    under ``REPRO_SANITIZE=1``.
+    """
+    global _detector
+    prev = _detector
+    _detector = None
+    try:
+        yield
     finally:
         _detector = prev
 

@@ -1,8 +1,18 @@
-"""Parallel runtime substrate: in-process MPI subset, RMA window,
-work-stealing load balancer, and the discrete-event cluster simulator."""
+"""Parallel runtime substrate: pluggable executor backends, in-process
+MPI subset, RMA window, work-stealing load balancer, buffer serde, and
+the discrete-event cluster simulator."""
 
 from .comm import ANY_SOURCE, ANY_TAG, CommError, Message, ThreadComm, run_spmd
 from .counters import Counters, Histogram, KernelCounters, current, phase, use_counters
+from .executor import (
+    Backend,
+    ExecutorError,
+    available_backends,
+    canonical_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
 from .loadbalance import DistributedWorker, WorkItem, WorkQueue
 from .rma import Window
 from .simulator import (
@@ -17,9 +27,11 @@ from .simulator import (
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "Backend",
     "CommError",
     "Counters",
     "DistributedWorker",
+    "ExecutorError",
     "Histogram",
     "KernelCounters",
     "Message",
@@ -31,8 +43,13 @@ __all__ = [
     "Window",
     "WorkItem",
     "WorkQueue",
+    "available_backends",
+    "canonical_backend_name",
     "current",
+    "get_backend",
     "phase",
+    "register_backend",
+    "resolve_backend_name",
     "run_spmd",
     "simulate",
     "strong_scaling",

@@ -18,6 +18,7 @@ coordinates sends plain float arrays, matching the paper's
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 from dataclasses import dataclass
@@ -69,11 +70,18 @@ def payload_nbytes(obj: Any) -> int:
         return 0
 
 
+#: process-unique communicator-group ids: sanitizer location keys must
+#: be scoped per group, or box accesses from two unrelated SPMD sessions
+#: would look like conflicting accesses to one location.
+_COMM_IDS = itertools.count()
+
+
 class _SharedState:
     """State shared by all ranks of one communicator group."""
 
     def __init__(self, size: int) -> None:
         self.size = size
+        self.comm_id = next(_COMM_IDS)
         self.queues: List[queue.Queue] = [queue.Queue() for _ in range(size)]
         self.barrier = threading.Barrier(size)
         self.bcast_box: Dict[int, Any] = {}
@@ -167,9 +175,10 @@ class ThreadComm:
         barrier are ordered without needing the lock.
         """
         bar = self._shared.barrier
-        tsan.note_barrier_begin(id(bar))
+        key = (self._shared.comm_id, "barrier")
+        tsan.note_barrier_begin(key)
         bar.wait()
-        tsan.note_barrier_end(id(bar))
+        tsan.note_barrier_end(key)
 
     def barrier(self) -> None:
         self._barrier_wait()
@@ -179,17 +188,17 @@ class ThreadComm:
         if self.rank == root:
             with sh.lock:
                 tsan.note_acquire(sh.lock)
-                tsan.note_access(("bcast_box", root), True)
+                tsan.note_access((sh.comm_id, "bcast_box", root), True)
                 sh.bcast_box[root] = obj
                 tsan.note_release(sh.lock)
         self._barrier_wait()
-        tsan.note_access(("bcast_box", root), False)
+        tsan.note_access((sh.comm_id, "bcast_box", root), False)
         out = sh.bcast_box[root]  # lint: disable=R6 -- barrier-ordered read after the root's locked write; verified by the runtime sanitizer
         self._barrier_wait()
         if self.rank == root:
             with sh.lock:
                 tsan.note_acquire(sh.lock)
-                tsan.note_access(("bcast_box", root), True)
+                tsan.note_access((sh.comm_id, "bcast_box", root), True)
                 sh.bcast_box.pop(root, None)
                 tsan.note_release(sh.lock)
         # Third barrier: cleanup must complete before any rank can start
@@ -204,14 +213,14 @@ class ThreadComm:
             sh.msgs_sent[self.rank] += 1
         with sh.lock:
             tsan.note_acquire(sh.lock)
-            tsan.note_access(("gather_box", root, self.rank), True)
+            tsan.note_access((sh.comm_id, "gather_box", root, self.rank), True)
             sh.gather_box.setdefault(root, {})[self.rank] = obj
             tsan.note_release(sh.lock)
         self._barrier_wait()
         out = None
         if self.rank == root:
             for r in range(self.size):
-                tsan.note_access(("gather_box", root, r), False)
+                tsan.note_access((sh.comm_id, "gather_box", root, r), False)
             box = sh.gather_box[root]  # lint: disable=R6 -- barrier-ordered read after every rank's locked write; verified by the runtime sanitizer
             out = [box[r] for r in range(self.size)]
         self._barrier_wait()
@@ -219,7 +228,7 @@ class ThreadComm:
             with sh.lock:
                 tsan.note_acquire(sh.lock)
                 for r in range(self.size):
-                    tsan.note_access(("gather_box", root, r), True)
+                    tsan.note_access((sh.comm_id, "gather_box", root, r), True)
                 sh.gather_box.pop(root, None)
                 tsan.note_release(sh.lock)
         self._barrier_wait()
@@ -235,17 +244,17 @@ class ThreadComm:
             sh.msgs_sent[root] += self.size - 1
             with sh.lock:
                 tsan.note_acquire(sh.lock)
-                tsan.note_access(("bcast_box", "scatter", root), True)
+                tsan.note_access((sh.comm_id, "bcast_box", "scatter", root), True)
                 sh.bcast_box[("scatter", root)] = list(objs)
                 tsan.note_release(sh.lock)
         self._barrier_wait()
-        tsan.note_access(("bcast_box", "scatter", root), False)
+        tsan.note_access((sh.comm_id, "bcast_box", "scatter", root), False)
         out = sh.bcast_box[("scatter", root)][self.rank]  # lint: disable=R6 -- barrier-ordered read after the root's locked write; verified by the runtime sanitizer
         self._barrier_wait()
         if self.rank == root:
             with sh.lock:
                 tsan.note_acquire(sh.lock)
-                tsan.note_access(("bcast_box", "scatter", root), True)
+                tsan.note_access((sh.comm_id, "bcast_box", "scatter", root), True)
                 sh.bcast_box.pop(("scatter", root), None)
                 tsan.note_release(sh.lock)
         self._barrier_wait()
@@ -259,12 +268,12 @@ class ThreadComm:
         sh = self._shared
         with sh.lock:
             tsan.note_acquire(sh.lock)
-            tsan.note_access(("reduce_box", 0, self.rank), True)
+            tsan.note_access((sh.comm_id, "reduce_box", 0, self.rank), True)
             sh.reduce_box.setdefault(0, {})[self.rank] = value
             tsan.note_release(sh.lock)
         self._barrier_wait()
         for r in range(self.size):
-            tsan.note_access(("reduce_box", 0, r), False)
+            tsan.note_access((sh.comm_id, "reduce_box", 0, r), False)
         vals = [sh.reduce_box[0][r] for r in range(self.size)]  # lint: disable=R6 -- barrier-ordered read after every rank's locked write; verified by the runtime sanitizer
         out = functools.reduce(op, vals)
         self._barrier_wait()
@@ -272,7 +281,7 @@ class ThreadComm:
             with sh.lock:
                 tsan.note_acquire(sh.lock)
                 for r in range(self.size):
-                    tsan.note_access(("reduce_box", 0, r), True)
+                    tsan.note_access((sh.comm_id, "reduce_box", 0, r), True)
                 sh.reduce_box.pop(0, None)
                 tsan.note_release(sh.lock)
         self._barrier_wait()

@@ -162,6 +162,34 @@ class KernelCounters:
                 setattr(self, name, getattr(self, name) + getattr(other, name))
 
     # ------------------------------------------------------------------
+    # Cross-process transport (plain ints/lists only — compactly
+    # picklable control-plane data, merged by the executor layer).
+    # ------------------------------------------------------------------
+    def to_plain(self) -> Dict[str, object]:
+        """Plain-data form for shipping across a process boundary."""
+        out: Dict[str, object] = {}
+        for name in self.__slots__:
+            if name in ("walk_hist", "cavity_hist"):
+                h = getattr(self, name)
+                out[name] = {"buckets": list(h.buckets), "count": h.count,
+                             "total": h.total}
+            else:
+                out[name] = getattr(self, name)
+        return out
+
+    def merge_plain(self, data: Dict[str, object]) -> None:
+        """Merge a :meth:`to_plain` snapshot (e.g. from a worker process)."""
+        for name in self.__slots__:
+            if name not in data:
+                continue
+            if name in ("walk_hist", "cavity_hist"):
+                h = data[name]
+                getattr(self, name).merge_counts(
+                    list(h["buckets"]), int(h["count"]), int(h["total"]))
+            else:
+                setattr(self, name, getattr(self, name) + int(data[name]))
+
+    # ------------------------------------------------------------------
     @property
     def orient_tests(self) -> int:
         return self.orient_fast + self.orient_exact
@@ -252,6 +280,34 @@ class Counters:
     def incr(self, name: str, n: int = 1) -> None:
         with self._lock:
             self.events[name] = self.events.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation: a worker process profiles into its own
+    # sink, ships ``snapshot()`` (plain data) back over the result
+    # channel, and the parent folds it in with ``merge_snapshot`` — so
+    # ``--profile``/``--stats-json`` see one merged report regardless of
+    # which executor backend did the work.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data snapshot of everything this sink accumulated."""
+        with self._lock:
+            return {
+                "phases": dict(self.phases),
+                "phase_calls": dict(self.phase_calls),
+                "kernel": self.kernel.to_plain(),
+                "events": dict(self.events),
+            }
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Merge a :meth:`snapshot` from another sink (thread-safe)."""
+        with self._lock:
+            for name, dt in data.get("phases", {}).items():
+                self.phases[name] = self.phases.get(name, 0.0) + float(dt)
+            for name, n in data.get("phase_calls", {}).items():
+                self.phase_calls[name] = self.phase_calls.get(name, 0) + int(n)
+            self.kernel.merge_plain(data.get("kernel", {}))
+            for name, n in data.get("events", {}).items():
+                self.events[name] = self.events.get(name, 0) + int(n)
 
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:

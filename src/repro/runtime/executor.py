@@ -1,0 +1,498 @@
+"""Pluggable execution backends: submit work items, collect results.
+
+The paper's headline claim is wall-clock speedup from data decomposition
+— independent subdomains refined by independent workers.  This module is
+the seam that decides *what a worker is*:
+
+``serial``  (alias ``local``)
+    Run every item in the calling thread.  The reference backend: zero
+    scheduling, zero transport, bit-exact baseline.
+
+``threads``
+    The SPMD threads runtime (:func:`repro.runtime.comm.run_spmd` +
+    :class:`repro.runtime.loadbalance.DistributedWorker` + RMA
+    :class:`~repro.runtime.rma.Window`): models the paper's MPI ranks,
+    work stealing and termination detection faithfully — but the GIL
+    serializes pure-Python refinement, so it exercises the *algorithm*,
+    not the hardware.
+
+``processes``
+    True ``multiprocessing`` workers: largest-first static distribution
+    (LPT) over N processes plus steal-on-idle through a shared
+    :class:`LoadBoard`.  Payloads and results cross the process boundary
+    only as flat numpy buffer dicts (:mod:`repro.runtime.serde`), never
+    as pickled Python object graphs; per-worker profiling counters are
+    snapshotted and merged back into the parent's ambient sink.
+
+Every backend implements the :class:`Backend` protocol —
+``map_workitems(fn, payloads, costs, n_ranks) -> results`` (in payload
+order) — and registers itself in a name registry the CLI derives its
+``--backend`` choices from.
+
+The runtime race sanitizer (:mod:`repro.lint.tsan`) instruments *shared
+memory*; process workers share nothing mutable, so there is nothing for
+it to instrument and ``processes`` + sanitizer fails fast with a clear
+error instead of silently reporting a clean-but-vacuous run.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
+
+from ..lint import tsan
+from . import counters as counters_mod
+from .counters import phase
+from .serde import is_buffers
+
+__all__ = [
+    "Backend",
+    "ExecutorError",
+    "LoadBoard",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcessesBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "canonical_backend_name",
+    "resolve_backend_name",
+]
+
+#: environment override consulted when a caller passes ``backend=None``
+#: (used by CI to drive the whole test pyramid through one backend).
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+class ExecutorError(RuntimeError):
+    """A backend could not run the submitted work."""
+
+
+class Backend(Protocol):
+    """The executor contract every backend satisfies.
+
+    ``map_workitems`` applies a module-level function to every payload
+    and returns the results *in payload order* regardless of which
+    worker processed what.  ``costs`` (optional, same length) drive
+    largest-first scheduling and stealing on the parallel backends.
+    """
+
+    #: registry name (canonical).
+    name: str
+    #: whether ``n_ranks`` changes anything.
+    parallel: bool
+    #: whether the runtime race sanitizer can instrument this backend.
+    supports_sanitizer: bool
+
+    def map_workitems(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        costs: Optional[Sequence[float]] = None,
+        n_ranks: int = 1,
+    ) -> List[Any]: ...
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, "Backend"] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(backend: "Backend",
+                     aliases: Sequence[str] = ()) -> "Backend":
+    """Register a backend instance under its name (plus aliases)."""
+    _REGISTRY[backend.name] = backend
+    for alias in aliases:
+        _ALIASES[alias] = backend.name
+    return backend
+
+
+def canonical_backend_name(name: str) -> str:
+    """Resolve aliases (``local`` -> ``serial``); raise on unknown."""
+    resolved = _ALIASES.get(name, name)
+    if resolved not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend: {name} (available: "
+            f"{', '.join(available_backends())})"
+        )
+    return resolved
+
+
+def get_backend(name: str) -> "Backend":
+    """Look up a backend by registry name or alias."""
+    return _REGISTRY[canonical_backend_name(name)]
+
+
+def available_backends() -> List[str]:
+    """Every accepted ``--backend`` value (canonical names + aliases)."""
+    return sorted(set(_REGISTRY) | set(_ALIASES))
+
+
+def resolve_backend_name(name: Optional[str], *,
+                         default: str = "local") -> str:
+    """Pick the backend name: explicit arg > ``REPRO_BACKEND`` > default."""
+    if name is not None:
+        return name
+    return os.environ.get(BACKEND_ENV) or default
+
+
+# ----------------------------------------------------------------------
+# Shared validation
+# ----------------------------------------------------------------------
+def _check_ranks(n_ranks: int) -> int:
+    if n_ranks < 1:
+        raise ExecutorError(f"need at least one rank, got {n_ranks}")
+    return int(n_ranks)
+
+
+def _check_portable_fn(fn: Callable) -> None:
+    """Process workers resolve ``fn`` by module path — reject closures."""
+    qualname = getattr(fn, "__qualname__", "")
+    if "<locals>" in qualname or not getattr(fn, "__module__", None):
+        raise ExecutorError(
+            f"work function {qualname or fn!r} must be a module-level "
+            "function for the processes backend (closures cannot cross "
+            "the process boundary); use serial/threads or lift it to "
+            "module scope"
+        )
+
+
+def _check_buffer_payloads(payloads: Sequence[Any]) -> None:
+    for i, p in enumerate(payloads):
+        if not is_buffers(p):
+            raise ExecutorError(
+                f"payload {i} is {type(p).__name__}, not a flat "
+                "dict[str, ndarray] buffer dict — pack it with "
+                "repro.runtime.serde before submitting to the processes "
+                "backend (no pickled object graphs on the hot path)"
+            )
+
+
+# ----------------------------------------------------------------------
+# serial
+# ----------------------------------------------------------------------
+class SerialBackend:
+    """Run every item in the calling thread, in submission order."""
+
+    name = "serial"
+    parallel = False
+    supports_sanitizer = True
+
+    def map_workitems(self, fn, payloads, *, costs=None, n_ranks=1):
+        with phase(f"executor.{self.name}"):
+            return [fn(p) for p in payloads]
+
+
+# ----------------------------------------------------------------------
+# threads
+# ----------------------------------------------------------------------
+class ThreadsBackend:
+    """SPMD threads runtime with RMA-window work stealing.
+
+    Faithful to the paper's runtime model (ranks, windows, stealing,
+    atomic termination counting) and fully instrumentable by the race
+    sanitizer — but GIL-bound for pure-Python work.
+    """
+
+    name = "threads"
+    parallel = True
+    supports_sanitizer = True
+
+    def map_workitems(self, fn, payloads, *, costs=None, n_ranks=1):
+        from .comm import run_spmd
+        from .loadbalance import DistributedWorker, WorkItem
+        from .rma import Window
+
+        n_ranks = _check_ranks(n_ranks)
+        if costs is None:
+            costs = [1.0] * len(payloads)
+        load_w = Window(n_ranks)
+        counter_w = Window(1)
+        counter_w.put(float(len(payloads)), 0)
+        items = [
+            WorkItem(cost=max(float(c), 1e-9), payload=(i, p))
+            for i, (p, c) in enumerate(zip(payloads, costs))
+        ]
+
+        def process(item: WorkItem):
+            idx, payload = item.payload
+            with phase(f"executor.{self.name}.item"):
+                return (idx, fn(payload)), []
+
+        def spmd(comm):
+            worker = DistributedWorker(comm, load_w, counter_w, process,
+                                       steal_threshold=1.0)
+            if comm.rank == 0:
+                worker.seed(items)
+            comm.barrier()
+            return worker.run()
+
+        with phase(f"executor.{self.name}"):
+            per_rank = run_spmd(n_ranks, spmd)
+        out: List[Any] = [None] * len(payloads)
+        seen = [False] * len(payloads)
+        for rank_results in per_rank:
+            for idx, result in rank_results:
+                out[idx] = result
+                seen[idx] = True
+        missing = [i for i, ok in enumerate(seen) if not ok]
+        if missing:
+            raise ExecutorError(f"work items {missing} were never processed")
+        return out
+
+
+# ----------------------------------------------------------------------
+# processes
+# ----------------------------------------------------------------------
+class LoadBoard:
+    """Shared claim board: largest-first assignment + steal-on-idle.
+
+    One shared int array marks each item's claiming worker (-1 =
+    unclaimed); one shared float array publishes every worker's
+    remaining assigned load (the paper's RMA load-estimate window,
+    realised in shared memory).  A worker claims its *own* items largest
+    first; when its assignment drains it picks the most-loaded victim
+    and claims that victim's largest unclaimed item.  All transitions
+    happen under one shared lock, so an item is processed exactly once
+    no matter how claims and steals interleave.
+    """
+
+    def __init__(self, ctx, costs: Sequence[float],
+                 assignment: Sequence[Sequence[int]]) -> None:
+        self._costs = [float(c) for c in costs]
+        # Per-worker items, largest cost first.
+        self._assignment = [
+            sorted(items, key=lambda i: (-self._costs[i], i))
+            for items in assignment
+        ]
+        self._owner_of = {}
+        for w, items in enumerate(self._assignment):
+            for i in items:
+                self._owner_of[i] = w
+        self._claims = ctx.Array("i", [-1] * max(len(costs), 1), lock=False)
+        self._loads = ctx.Array("d", [
+            sum(self._costs[i] for i in items) for items in self._assignment
+        ] or [0.0], lock=False)
+        self._lock = ctx.Lock()
+
+    def _take(self, item: int, worker: int) -> None:
+        self._claims[item] = worker
+        owner = self._owner_of[item]
+        self._loads[owner] -= self._costs[item]
+
+    def claim(self, worker: int) -> Optional[tuple]:
+        """Claim the next item for ``worker``: ``(item, stolen)`` or None.
+
+        Own assignment first (largest-first); then steal the largest
+        unclaimed item of the worker with the most remaining load.
+        """
+        with self._lock:
+            for i in self._assignment[worker]:
+                if self._claims[i] < 0:
+                    self._take(i, worker)
+                    return (i, False)
+            victim = -1
+            victim_load = 0.0
+            for w in range(len(self._assignment)):
+                if w == worker:
+                    continue
+                if self._loads[w] > victim_load:
+                    victim, victim_load = w, self._loads[w]
+            if victim >= 0:
+                for i in self._assignment[victim]:
+                    if self._claims[i] < 0:
+                        self._take(i, worker)
+                        return (i, True)
+            # Fallback sweep: loads can only over-estimate remaining
+            # work, so an unclaimed item anywhere is still claimable.
+            for i in range(len(self._claims)):
+                if self._claims[i] < 0:
+                    self._take(i, worker)
+                    return (i, self._owner_of[i] != worker)
+            return None
+
+    def remaining_loads(self) -> List[float]:
+        with self._lock:
+            return [float(x) for x in self._loads]
+
+
+def lpt_assignment(costs: Sequence[float], n_workers: int) -> List[List[int]]:
+    """Largest-processing-time-first static distribution.
+
+    Items sorted by descending cost, each placed on the least-loaded
+    worker — the classic 4/3-approximation, matching the paper's
+    "subdomain estimated to need the most time is meshed first".
+    """
+    order = sorted(range(len(costs)), key=lambda i: (-float(costs[i]), i))
+    loads = [0.0] * n_workers
+    out: List[List[int]] = [[] for _ in range(n_workers)]
+    for i in order:
+        w = min(range(n_workers), key=lambda r: (loads[r], r))
+        out[w].append(i)
+        loads[w] += float(costs[i])
+    return out
+
+
+def _process_worker(rank: int, fn, payloads, board: LoadBoard,
+                    result_q, profile: bool) -> None:
+    """Worker-process main loop: claim, process, ship buffers back."""
+    try:
+        sink = counters_mod.Counters() if profile else None
+        processed = 0
+        steals = 0
+        with counters_mod.use_counters(sink) if profile else _null_cm():
+            while True:
+                got = board.claim(rank)
+                if got is None:
+                    break
+                idx, stolen = got
+                with phase("executor.processes.item"):
+                    result = fn(payloads[idx])
+                if not is_buffers(result):
+                    raise ExecutorError(
+                        f"work function {fn.__qualname__} returned "
+                        f"{type(result).__name__} for item {idx}; process "
+                        "workers must return flat serde buffer dicts"
+                    )
+                result_q.put(("ok", idx, result))
+                processed += 1
+                steals += int(stolen)
+        snapshot = sink.snapshot() if sink is not None else None
+        result_q.put(("done", rank, processed, steals, snapshot))
+    except BaseException:  # noqa: BLE001 - shipped to the parent
+        result_q.put(("err", rank, traceback.format_exc()))
+
+
+class _null_cm:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+class ProcessesBackend:
+    """GIL-free workers over ``multiprocessing`` (fork when available).
+
+    Largest-first static distribution plus steal-on-idle via the shared
+    :class:`LoadBoard`; buffer-dict payloads/results only; per-worker
+    counter snapshots merged into the parent's ambient profiling sink.
+    """
+
+    name = "processes"
+    parallel = True
+    supports_sanitizer = False
+
+    #: seconds without any worker progress before declaring a hang.
+    idle_timeout = 600.0
+
+    def __init__(self, start_method: Optional[str] = None) -> None:
+        self._start_method = start_method
+
+    def _context(self):
+        import multiprocessing as mp
+
+        if self._start_method is not None:
+            return mp.get_context(self._start_method)
+        # fork inherits payloads by address space (no serialization at
+        # dispatch); fall back to spawn where fork does not exist.
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else "spawn")
+
+    def map_workitems(self, fn, payloads, *, costs=None, n_ranks=1):
+        if tsan.enabled():
+            raise ExecutorError(
+                "the runtime race sanitizer instruments shared-memory "
+                "backends only; the processes backend shares no mutable "
+                "state to instrument — run --sanitize with "
+                "--backend threads (or serial) instead"
+            )
+        n_ranks = _check_ranks(n_ranks)
+        _check_portable_fn(fn)
+        _check_buffer_payloads(payloads)
+        if not payloads:
+            return []
+        if costs is None:
+            costs = [1.0] * len(payloads)
+        n_workers = min(n_ranks, len(payloads))
+
+        ctx = self._context()
+        board = LoadBoard(ctx, costs, lpt_assignment(costs, n_workers))
+        result_q = ctx.Queue()
+        sink = counters_mod.current()
+        profile = sink is not None
+        procs = [
+            ctx.Process(target=_process_worker,
+                        args=(rank, fn, list(payloads), board, result_q,
+                              profile),
+                        daemon=True)
+            for rank in range(n_workers)
+        ]
+        out: List[Any] = [None] * len(payloads)
+        seen = [False] * len(payloads)
+        done = [False] * n_workers
+        total_steals = 0
+        with phase(f"executor.{self.name}"):
+            for p in procs:
+                p.start()
+            try:
+                import queue as queue_mod
+
+                idle = 0.0
+                while not (all(seen) and all(done)):
+                    try:
+                        msg = result_q.get(timeout=0.5)
+                    except queue_mod.Empty:
+                        idle += 0.5
+                        dead = [r for r, p in enumerate(procs)
+                                if not done[r] and not p.is_alive()]
+                        if dead:
+                            raise ExecutorError(
+                                f"worker process(es) {dead} died without "
+                                "reporting (killed? out of memory?)"
+                            )
+                        if idle > self.idle_timeout:
+                            raise ExecutorError(
+                                "processes backend made no progress for "
+                                f"{self.idle_timeout:.0f}s — aborting"
+                            )
+                        continue
+                    idle = 0.0
+                    if msg[0] == "ok":
+                        _, idx, result = msg
+                        out[idx] = result
+                        seen[idx] = True
+                    elif msg[0] == "done":
+                        _, rank, processed, steals, snapshot = msg
+                        done[rank] = True
+                        total_steals += steals
+                        if snapshot is not None and sink is not None:
+                            sink.merge_snapshot(snapshot)
+                            sink.incr(f"executor.items.rank{rank}", processed)
+                    else:
+                        _, rank, tb = msg
+                        raise ExecutorError(
+                            f"worker {rank} failed:\n{tb}"
+                        )
+            finally:
+                for p in procs:
+                    if p.is_alive():
+                        p.terminate()
+                for p in procs:
+                    p.join(timeout=10.0)
+                result_q.close()
+        if sink is not None:
+            sink.incr("executor.steals", total_steals)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Default registry population
+# ----------------------------------------------------------------------
+register_backend(SerialBackend(), aliases=("local",))
+register_backend(ThreadsBackend())
+register_backend(ProcessesBackend())

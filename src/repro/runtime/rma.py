@@ -21,6 +21,7 @@ window operations are instrumented for :mod:`repro.lint.tsan`
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Callable, Optional, Tuple
 
@@ -29,6 +30,12 @@ import numpy as np
 from ..lint import tsan
 
 __all__ = ["Window"]
+
+#: process-unique window ids for sanitizer location keys.  ``id(self)``
+#: is NOT suitable: a garbage-collected window's address can be reused
+#: by a later one, and the detector would then see the dead window's
+#: unordered accesses as races on the new window's slots.
+_WINDOW_IDS = itertools.count()
 
 
 class Window:
@@ -40,10 +47,11 @@ class Window:
         self.host_rank = host_rank
         self._data = np.zeros(size, dtype=np.float64)
         self._lock = threading.Lock()
+        self._win_id = next(_WINDOW_IDS)
 
     def _slot(self, offset: int) -> Tuple[str, int, int]:
         """Sanitizer location key for one window slot."""
-        return ("rma.win", id(self), int(offset))
+        return ("rma.win", self._win_id, int(offset))
 
     def __len__(self) -> int:
         return len(self._data)  # lint: disable=R6 -- window size is immutable after construction; no lock needed

@@ -1,0 +1,301 @@
+"""Compact buffer serialization for cross-process transport.
+
+The process backend of :mod:`repro.runtime.executor` ships work between
+address spaces.  Following the paper's communication discipline ("only
+the coordinates need to be communicated") every domain object that
+crosses a process boundary is flattened here into a **buffer dict** — a
+flat ``Dict[str, numpy.ndarray]`` of contiguous float64/int32/uint8
+arrays — instead of a pickled Python object graph.  The arrays carry raw
+coordinate/index bits, so a round trip is *exact*: unpacking reproduces
+bit-identical geometry, which is what makes the backend-parity guarantee
+(`serial` == `threads` == `processes` meshes) trivial to maintain.
+
+Supported objects:
+
+* :class:`~repro.core.decouple.DecoupledSubdomain` — ring + hole rings
+  concatenated into one coordinate array with an offsets table;
+* :class:`~repro.delaunay.mesh.TriMesh` — points/triangles/segments;
+* :class:`~repro.geometry.pslg.PSLG` — points, loop index table, flags,
+  and a uint8-encoded name blob;
+* sizing functions (``Uniform``/``Radial``/``GradedDistance``) — a kind
+  code plus parameter/point arrays (``CallableSizing`` is *not*
+  serializable — it wraps an arbitrary closure — and is rejected with a
+  clear error pointing at the in-process backends);
+* :class:`~repro.core.bl_pipeline.BoundaryLayerConfig` — numeric fields
+  plus the triangulation-mode string (a custom ``growth`` override is
+  rejected for the same reason as ``CallableSizing``).
+
+Composition: :func:`nest` prefixes a packed dict's keys so several
+objects share one payload; :func:`unnest` extracts them back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = [
+    "Buffers",
+    "SerdeError",
+    "is_buffers",
+    "buffers_nbytes",
+    "nest",
+    "unnest",
+    "pack_mesh",
+    "unpack_mesh",
+    "pack_subdomain",
+    "unpack_subdomain",
+    "pack_pslg",
+    "unpack_pslg",
+    "pack_sizing",
+    "unpack_sizing",
+    "pack_bl_config",
+    "unpack_bl_config",
+]
+
+Buffers = Dict[str, np.ndarray]
+
+
+class SerdeError(TypeError):
+    """An object cannot be represented as flat numpy buffers."""
+
+
+def is_buffers(obj: object) -> bool:
+    """True when ``obj`` is a flat ``str -> ndarray`` buffer dict."""
+    return (
+        isinstance(obj, dict)
+        and all(isinstance(k, str) for k in obj)
+        and all(isinstance(v, np.ndarray) for v in obj.values())
+    )
+
+
+def buffers_nbytes(buffers: Buffers) -> int:
+    """Wire size of a buffer dict (sum of raw array buffers)."""
+    return int(sum(v.nbytes for v in buffers.values()))
+
+
+def _text(s: str) -> np.ndarray:
+    return np.frombuffer(s.encode("utf-8"), dtype=np.uint8).copy()
+
+
+def _untext(arr: np.ndarray) -> str:
+    return bytes(np.ascontiguousarray(arr, dtype=np.uint8)).decode("utf-8")
+
+
+def _f64(a, shape_tail: int = 0) -> np.ndarray:
+    out = np.ascontiguousarray(np.asarray(a, dtype=np.float64))
+    if shape_tail and (out.ndim != 2 or out.shape[1] != shape_tail):
+        out = out.reshape(-1, shape_tail)
+    return out
+
+
+def _i32(a) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(a, dtype=np.int32))
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+def nest(prefix: str, buffers: Buffers) -> Buffers:
+    """Prefix every key so several packed objects share one payload."""
+    return {prefix + k: v for k, v in buffers.items()}
+
+
+def unnest(prefix: str, payload: Buffers) -> Buffers:
+    """Extract the sub-dict packed under ``prefix`` by :func:`nest`."""
+    n = len(prefix)
+    out = {k[n:]: v for k, v in payload.items() if k.startswith(prefix)}
+    if not out:
+        raise SerdeError(f"payload holds nothing under prefix {prefix!r}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# TriMesh
+# ----------------------------------------------------------------------
+def pack_mesh(mesh) -> Buffers:
+    """Flatten a :class:`TriMesh` (exact round trip)."""
+    return {
+        "points": _f64(mesh.points, 2),
+        "triangles": _i32(mesh.triangles).reshape(-1, 3),
+        "segments": _i32(mesh.segments).reshape(-1, 2),
+    }
+
+
+def unpack_mesh(buffers: Buffers):
+    from ..delaunay.mesh import TriMesh
+
+    return TriMesh(
+        points=_f64(buffers["points"], 2),
+        triangles=_i32(buffers["triangles"]).reshape(-1, 3),
+        segments=_i32(buffers["segments"]).reshape(-1, 2),
+    )
+
+
+# ----------------------------------------------------------------------
+# DecoupledSubdomain
+# ----------------------------------------------------------------------
+def pack_subdomain(sub) -> Buffers:
+    """Flatten a :class:`DecoupledSubdomain`.
+
+    The outer ring and every hole ring are concatenated into one
+    ``(n, 2)`` coordinate array; ``ring_offsets[i]:ring_offsets[i+1]``
+    slices ring ``i`` back out (ring 0 is the outer border).
+    """
+    rings = [_f64(sub.ring, 2)] + [_f64(hr, 2) for hr in sub.hole_rings]
+    offsets = np.zeros(len(rings) + 1, dtype=np.int32)
+    np.cumsum([len(r) for r in rings], out=offsets[1:])
+    holes = (_f64(sub.holes, 2) if sub.holes
+             else np.empty((0, 2), dtype=np.float64))
+    return {
+        "coords": np.vstack(rings),
+        "ring_offsets": offsets,
+        "holes": holes,
+        "meta": np.asarray([float(sub.level), float(sub.est_triangles)],
+                           dtype=np.float64),
+    }
+
+
+def unpack_subdomain(buffers: Buffers):
+    from ..core.decouple import DecoupledSubdomain
+
+    coords = _f64(buffers["coords"], 2)
+    offsets = _i32(buffers["ring_offsets"])
+    rings = [np.ascontiguousarray(coords[offsets[i]:offsets[i + 1]])
+             for i in range(len(offsets) - 1)]
+    holes = _f64(buffers["holes"], 2)
+    level, est = (float(x) for x in buffers["meta"])
+    return DecoupledSubdomain(
+        ring=rings[0],
+        level=int(level),
+        est_triangles=est,
+        hole_rings=rings[1:],
+        holes=[(float(x), float(y)) for x, y in holes],
+    )
+
+
+# ----------------------------------------------------------------------
+# PSLG
+# ----------------------------------------------------------------------
+def pack_pslg(pslg) -> Buffers:
+    """Flatten a :class:`PSLG`: points, loop index table, flags, names."""
+    loop_idx = (np.concatenate([lp.indices for lp in pslg.loops])
+                if pslg.loops else np.empty(0, dtype=np.int64))
+    offsets = np.zeros(len(pslg.loops) + 1, dtype=np.int32)
+    np.cumsum([len(lp) for lp in pslg.loops], out=offsets[1:])
+    names = "\n".join(lp.name for lp in pslg.loops)
+    return {
+        "points": _f64(pslg.points, 2),
+        "loop_indices": _i32(loop_idx),
+        "loop_offsets": offsets,
+        "loop_is_body": np.asarray([lp.is_body for lp in pslg.loops],
+                                   dtype=np.int32),
+        "loop_names": _text(names),
+    }
+
+
+def unpack_pslg(buffers: Buffers):
+    from ..geometry.pslg import PSLG, Loop
+
+    idx = np.asarray(buffers["loop_indices"], dtype=np.int64)
+    offsets = _i32(buffers["loop_offsets"])
+    is_body = _i32(buffers["loop_is_body"])
+    names = _untext(buffers["loop_names"]).split("\n") if len(
+        buffers["loop_names"]) else [""] * (len(offsets) - 1)
+    loops: List[Loop] = [
+        Loop(idx[offsets[i]:offsets[i + 1]], name=names[i],
+             is_body=bool(is_body[i]))
+        for i in range(len(offsets) - 1)
+    ]
+    return PSLG(_f64(buffers["points"], 2), loops)
+
+
+# ----------------------------------------------------------------------
+# Sizing functions
+# ----------------------------------------------------------------------
+_SIZING_UNIFORM = 0
+_SIZING_RADIAL = 1
+_SIZING_GRADED = 2
+
+
+def pack_sizing(sizing) -> Buffers:
+    """Flatten a sizing function (kind code + parameters)."""
+    from ..sizing.functions import (GradedDistanceSizing, RadialSizing,
+                                    UniformSizing)
+
+    if isinstance(sizing, UniformSizing):
+        kind, params, pts = _SIZING_UNIFORM, [sizing.area], None
+    elif isinstance(sizing, RadialSizing):
+        kind = _SIZING_RADIAL
+        params = [sizing.center[0], sizing.center[1], sizing.h0,
+                  sizing.grading, sizing.h_max]
+        pts = None
+    elif isinstance(sizing, GradedDistanceSizing):
+        kind = _SIZING_GRADED
+        params = [sizing.h0, sizing.grading, sizing.h_max]
+        pts = sizing._pts
+    else:
+        raise SerdeError(
+            f"sizing function {type(sizing).__name__} is not serializable "
+            "(it wraps arbitrary Python callables); use the serial or "
+            "threads backend, or one of Uniform/Radial/GradedDistanceSizing"
+        )
+    return {
+        "kind": np.asarray([kind], dtype=np.int32),
+        "params": np.asarray(params, dtype=np.float64),
+        "points": (_f64(pts, 2) if pts is not None
+                   else np.empty((0, 2), dtype=np.float64)),
+    }
+
+
+def unpack_sizing(buffers: Buffers):
+    from ..sizing.functions import (GradedDistanceSizing, RadialSizing,
+                                    UniformSizing)
+
+    kind = int(buffers["kind"][0])
+    params = [float(x) for x in buffers["params"]]
+    if kind == _SIZING_UNIFORM:
+        return UniformSizing(params[0])
+    if kind == _SIZING_RADIAL:
+        cx, cy, h0, grading, h_max = params
+        return RadialSizing((cx, cy), h0, grading=grading, h_max=h_max)
+    if kind == _SIZING_GRADED:
+        h0, grading, h_max = params
+        return GradedDistanceSizing(_f64(buffers["points"], 2), h0,
+                                    grading=grading, h_max=h_max)
+    raise SerdeError(f"unknown sizing kind code {kind}")
+
+
+# ----------------------------------------------------------------------
+# BoundaryLayerConfig
+# ----------------------------------------------------------------------
+_BL_FIELDS = (
+    "first_spacing", "growth_ratio", "max_layers", "max_height",
+    "large_angle_deg", "cusp_angle_deg", "max_ray_angle_deg",
+    "isotropy_factor", "truncation_factor",
+)
+
+
+def pack_bl_config(config) -> Buffers:
+    """Flatten a :class:`BoundaryLayerConfig` (numeric fields + mode)."""
+    if config.growth is not None:
+        raise SerdeError(
+            "BoundaryLayerConfig with a custom growth-function override is "
+            "not serializable; use the serial or threads backend, or set "
+            "first_spacing/growth_ratio instead"
+        )
+    return {
+        "params": np.asarray([float(getattr(config, f)) for f in _BL_FIELDS],
+                             dtype=np.float64),
+        "triangulation": _text(config.triangulation),
+    }
+
+
+def unpack_bl_config(buffers: Buffers):
+    from ..core.bl_pipeline import BoundaryLayerConfig
+
+    values = dict(zip(_BL_FIELDS, (float(x) for x in buffers["params"])))
+    values["max_layers"] = int(values["max_layers"])
+    return BoundaryLayerConfig(triangulation=_untext(buffers["triangulation"]),
+                               **values)

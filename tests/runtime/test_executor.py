@@ -1,0 +1,274 @@
+"""The pluggable executor layer: registry, backends, load board.
+
+Work functions used with the ``processes`` backend live at module scope
+— the backend rejects closures by contract (they cannot cross the
+process boundary).
+"""
+
+import contextlib
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.lint import tsan
+from repro.runtime import counters as counters_mod
+from repro.runtime import executor
+from repro.runtime.executor import (
+    ExecutorError,
+    LoadBoard,
+    ProcessesBackend,
+    lpt_assignment,
+)
+
+ALL_BACKENDS = ["serial", "local", "threads", "processes"]
+
+
+def _ctx():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _maybe_suspend(name):
+    """Under an ambient REPRO_SANITIZE=1 session the processes backend
+    fails fast by design; suspend the detector for those cases only."""
+    if name == "processes" and tsan.enabled():
+        return tsan.suspend()
+    return contextlib.nullcontext()
+
+
+# ----------------------------------------------------------------------
+# Module-level work functions (processes-backend-portable).
+# ----------------------------------------------------------------------
+def _double(payload):
+    return {"x": payload["x"] * 2.0}
+
+
+def _maybe_boom(payload):
+    if payload["flag"][0] > 0:
+        raise ValueError("boom in worker")
+    return {"flag": payload["flag"]}
+
+
+def _not_buffers(payload):
+    return 3.5
+
+
+def _count_events(payload):
+    sink = counters_mod.current()
+    if sink is not None:
+        sink.incr("test.items_seen")
+    return {"x": payload["x"]}
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_available_includes_all(self):
+        names = executor.available_backends()
+        assert names == sorted(names)
+        for n in ALL_BACKENDS:
+            assert n in names
+
+    def test_local_is_alias_for_serial(self):
+        assert executor.canonical_backend_name("local") == "serial"
+        assert executor.get_backend("local") is executor.get_backend("serial")
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            executor.canonical_backend_name("mpi")
+        with pytest.raises(ValueError, match="unknown backend"):
+            executor.get_backend("cuda")
+
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.delenv(executor.BACKEND_ENV, raising=False)
+        assert executor.resolve_backend_name(None) == "local"
+        assert executor.resolve_backend_name(None,
+                                             default="threads") == "threads"
+        monkeypatch.setenv(executor.BACKEND_ENV, "processes")
+        assert executor.resolve_backend_name(None) == "processes"
+        # Explicit argument beats the environment.
+        assert executor.resolve_backend_name("serial") == "serial"
+
+    def test_flags(self):
+        assert not executor.get_backend("serial").parallel
+        assert executor.get_backend("threads").parallel
+        assert executor.get_backend("processes").parallel
+        assert executor.get_backend("threads").supports_sanitizer
+        assert not executor.get_backend("processes").supports_sanitizer
+
+
+# ----------------------------------------------------------------------
+# map_workitems over every backend
+# ----------------------------------------------------------------------
+class TestMapWorkitems:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_results_in_payload_order(self, name):
+        backend = executor.get_backend(name)
+        payloads = [{"x": np.full(3, float(i))} for i in range(9)]
+        costs = [float(9 - i) for i in range(9)]
+        with _maybe_suspend(name):
+            results = backend.map_workitems(_double, payloads, costs=costs,
+                                            n_ranks=3)
+        assert len(results) == 9
+        for i, r in enumerate(results):
+            assert np.array_equal(r["x"], np.full(3, 2.0 * i))
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_no_costs_given(self, name):
+        backend = executor.get_backend(name)
+        payloads = [{"x": np.asarray([float(i)])} for i in range(5)]
+        with _maybe_suspend(name):
+            results = backend.map_workitems(_double, payloads, n_ranks=2)
+        for i, r in enumerate(results):
+            assert np.array_equal(r["x"], np.asarray([2.0 * i]))
+
+    def test_processes_empty(self):
+        with tsan.suspend():
+            assert executor.get_backend("processes").map_workitems(
+                _double, [], n_ranks=2) == []
+
+    @pytest.mark.parametrize("name", ["threads", "processes"])
+    def test_bad_rank_count(self, name):
+        with _maybe_suspend(name):
+            with pytest.raises(ExecutorError, match="at least one rank"):
+                executor.get_backend(name).map_workitems(
+                    _double, [{"x": np.ones(1)}], n_ranks=0)
+
+    def test_more_ranks_than_items(self):
+        backend = executor.get_backend("processes")
+        payloads = [{"x": np.asarray([1.0])}, {"x": np.asarray([2.0])}]
+        with tsan.suspend():
+            results = backend.map_workitems(_double, payloads, n_ranks=8)
+        assert np.array_equal(results[1]["x"], np.asarray([4.0]))
+
+
+# ----------------------------------------------------------------------
+# Processes-backend contracts
+# ----------------------------------------------------------------------
+class TestProcessesContracts:
+    def test_closure_rejected(self):
+        backend = executor.get_backend("processes")
+        with tsan.suspend():
+            with pytest.raises(ExecutorError, match="module-level"):
+                backend.map_workitems(lambda p: p, [{"x": np.ones(1)}])
+
+    def test_non_buffer_payload_rejected(self):
+        backend = executor.get_backend("processes")
+        with tsan.suspend():
+            with pytest.raises(ExecutorError, match="buffer dict"):
+                backend.map_workitems(_double, [{"x": [1.0, 2.0]}])
+
+    def test_non_buffer_result_rejected(self):
+        backend = executor.get_backend("processes")
+        with tsan.suspend():
+            with pytest.raises(ExecutorError, match="buffer dict"):
+                backend.map_workitems(_not_buffers, [{"x": np.ones(1)}])
+
+    def test_worker_exception_propagates(self):
+        backend = executor.get_backend("processes")
+        payloads = [{"flag": np.asarray([0.0])}, {"flag": np.asarray([1.0])}]
+        with tsan.suspend():
+            with pytest.raises(ExecutorError, match="boom in worker"):
+                backend.map_workitems(_maybe_boom, payloads, n_ranks=2)
+
+    def test_sanitizer_fails_fast(self):
+        backend = executor.get_backend("processes")
+        with tsan.sanitize():
+            with pytest.raises(ExecutorError, match="shared-memory"):
+                backend.map_workitems(_double, [{"x": np.ones(1)}])
+        # With the detector off again, the same call runs fine.
+        with tsan.suspend():
+            out = backend.map_workitems(_double, [{"x": np.ones(1)}])
+        assert np.array_equal(out[0]["x"], np.full(1, 2.0))
+
+    def test_sanitizer_allowed_on_threads_and_serial(self):
+        payloads = [{"x": np.asarray([float(i)])} for i in range(3)]
+        with tsan.sanitize() as det:
+            for name in ("serial", "threads"):
+                out = executor.get_backend(name).map_workitems(
+                    _double, payloads, n_ranks=2)
+                assert np.array_equal(out[2]["x"], np.asarray([4.0]))
+            assert det.status()["races_detected"] == 0
+
+    def test_counter_snapshots_merge_into_parent(self):
+        backend = executor.get_backend("processes")
+        payloads = [{"x": np.asarray([float(i)])} for i in range(6)]
+        with tsan.suspend(), counters_mod.use_counters() as sink:
+            backend.map_workitems(_count_events, payloads, n_ranks=2)
+        # Worker-side events crossed the process boundary and merged.
+        assert sink.events.get("test.items_seen", 0) == 6
+        per_rank = [n for name, n in sorted(sink.events.items())
+                    if name.startswith("executor.items.rank")]
+        assert sum(per_rank) == 6
+        assert "executor.steals" in sink.events
+        assert any(name == "executor.processes.item"
+                   for name in sink.phases)
+
+    def test_spawn_context_also_works(self):
+        # Forces the pickled-LoadBoard path even where fork is default.
+        backend = ProcessesBackend(start_method="spawn")
+        payloads = [{"x": np.asarray([float(i)])} for i in range(4)]
+        with tsan.suspend():
+            results = backend.map_workitems(_double, payloads, n_ranks=2)
+        for i, r in enumerate(results):
+            assert np.array_equal(r["x"], np.asarray([2.0 * i]))
+
+
+# ----------------------------------------------------------------------
+# Scheduling: LPT assignment + LoadBoard claims/steals
+# ----------------------------------------------------------------------
+class TestLptAssignment:
+    def test_balances_loads(self):
+        costs = [5.0, 4.0, 3.0, 3.0, 2.0, 1.0]
+        out = lpt_assignment(costs, 2)
+        loads = sorted(sum(costs[i] for i in items) for items in out)
+        assert loads == [9.0, 9.0]
+        assert sorted(i for items in out for i in items) == list(range(6))
+
+    def test_largest_first(self):
+        out = lpt_assignment([1.0, 100.0, 10.0], 3)
+        # The heaviest item lands alone on the first-picked worker.
+        assert [1] in out
+
+    def test_more_workers_than_items(self):
+        out = lpt_assignment([2.0], 4)
+        assert sum(len(items) for items in out) == 1
+
+
+class TestLoadBoard:
+    def test_own_items_largest_first(self):
+        board = LoadBoard(_ctx(), [1.0, 5.0, 3.0], [[0, 1, 2]])
+        claimed = [board.claim(0) for _ in range(4)]
+        assert claimed == [(1, False), (2, False), (0, False), None]
+
+    def test_steals_from_most_loaded_victim(self):
+        costs = [4.0, 1.0, 1.0, 6.0, 6.0]
+        board = LoadBoard(_ctx(), costs, [[0], [1, 2], [3, 4]])
+        assert board.claim(0) == (0, False)
+        # Worker 0 drained its own assignment; worker 2 holds the most
+        # remaining load, so the steal takes its largest item.
+        assert board.claim(0) == (3, True)
+        assert board.claim(1) == (1, False)
+        assert board.claim(2) == (4, False)
+        assert board.claim(2) == (2, True)
+        assert board.claim(0) is None
+        assert board.remaining_loads() == [0.0, 0.0, 0.0]
+
+    def test_each_item_claimed_exactly_once(self):
+        rng = np.random.default_rng(11)
+        costs = [float(c) for c in rng.uniform(1.0, 9.0, size=20)]
+        board = LoadBoard(_ctx(), costs, lpt_assignment(costs, 3))
+        claimed = []
+        # Interleave claims across workers until the board drains.
+        workers = [0, 1, 2]
+        k = 0
+        while True:
+            got = board.claim(workers[k % 3])
+            k += 1
+            if got is None and len(claimed) == 20:
+                break
+            if got is not None:
+                claimed.append(got[0])
+        assert sorted(claimed) == list(range(20))

@@ -1,0 +1,184 @@
+"""Buffer serde round trips must be exact — the backend-parity contract
+(`serial` == `threads` == `processes`) rests on bit-identical transport."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bl_pipeline import BoundaryLayerConfig
+from repro.core.decouple import DecoupledSubdomain
+from repro.delaunay.mesh import TriMesh
+from repro.geometry.airfoils import naca0012, three_element_airfoil
+from repro.geometry.pslg import PSLG
+from repro.runtime import serde
+from repro.sizing.functions import (
+    CallableSizing,
+    GradedDistanceSizing,
+    RadialSizing,
+    UniformSizing,
+)
+
+
+def random_ring(rng, n):
+    """A random star-shaped simple polygon (CCW)."""
+    angles = np.sort(rng.uniform(0.0, 2.0 * math.pi, size=n))
+    radii = rng.uniform(0.5, 2.0, size=n)
+    return np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+
+
+class TestSubdomainRoundTrip:
+    def test_simple_exact(self):
+        rng = np.random.default_rng(3)
+        sub = DecoupledSubdomain(ring=random_ring(rng, 17), level=2,
+                                 est_triangles=123.5)
+        back = serde.unpack_subdomain(serde.pack_subdomain(sub))
+        assert np.array_equal(back.ring, sub.ring)
+        assert back.level == 2
+        assert back.est_triangles == pytest.approx(123.5, abs=0.0)
+        assert back.hole_rings == []
+        assert back.holes == []
+
+    def test_holes_exact(self):
+        rng = np.random.default_rng(4)
+        sub = DecoupledSubdomain(
+            ring=random_ring(rng, 23) * 10.0,
+            hole_rings=[random_ring(rng, 9), random_ring(rng, 12)],
+            holes=[(0.25, -0.5), (1.0 / 3.0, 2.0 / 7.0)],
+        )
+        back = serde.unpack_subdomain(serde.pack_subdomain(sub))
+        assert len(back.hole_rings) == 2
+        for a, b in zip(back.hole_rings, sub.hole_rings):
+            assert np.array_equal(a, b)
+        assert back.holes == sub.holes  # tuples of exact floats
+
+    def test_property_many_random(self):
+        """Property-style sweep: random ring/hole/hole-count combinations
+        survive the round trip bit-exactly."""
+        rng = np.random.default_rng(5)
+        for trial in range(25):
+            n_holes = int(rng.integers(0, 4))
+            sub = DecoupledSubdomain(
+                ring=random_ring(rng, int(rng.integers(4, 40))) * 100.0,
+                level=int(rng.integers(0, 7)),
+                est_triangles=float(rng.uniform(0, 1e6)),
+                hole_rings=[random_ring(rng, int(rng.integers(3, 12)))
+                            for _ in range(n_holes)],
+                holes=[tuple(rng.uniform(-1, 1, size=2))
+                       for _ in range(n_holes)],
+            )
+            back = serde.unpack_subdomain(serde.pack_subdomain(sub))
+            assert np.array_equal(back.ring, sub.ring)
+            assert back.level == sub.level
+            assert back.est_triangles == pytest.approx(sub.est_triangles,
+                                                       abs=0.0)
+            assert len(back.hole_rings) == n_holes
+            for a, b in zip(back.hole_rings, sub.hole_rings):
+                assert np.array_equal(a, b)
+            assert all(
+                ha == hb for ha, hb in zip(back.holes, sub.holes)
+            )
+
+
+class TestMeshRoundTrip:
+    def test_exact(self):
+        pts = np.asarray([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0],
+                          [1.5, 1.0]])
+        tris = np.asarray([[0, 1, 2], [1, 3, 2]], dtype=np.int32)
+        segs = np.asarray([[0, 1]], dtype=np.int32)
+        mesh = TriMesh(pts, tris, segs)
+        back = serde.unpack_mesh(serde.pack_mesh(mesh))
+        assert np.array_equal(back.points, mesh.points)
+        assert np.array_equal(back.triangles, mesh.triangles)
+        assert np.array_equal(back.segments, mesh.segments)
+
+    def test_empty_segments(self):
+        mesh = TriMesh(np.asarray([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]]),
+                       np.asarray([[0, 1, 2]], dtype=np.int32))
+        back = serde.unpack_mesh(serde.pack_mesh(mesh))
+        assert back.segments.shape == (0, 2)
+
+
+class TestPSLGRoundTrip:
+    @pytest.mark.parametrize("pslg", [
+        PSLG.from_loops([naca0012(41)], names=["naca0012"]),
+        three_element_airfoil(n_points=21),
+    ])
+    def test_exact(self, pslg):
+        back = serde.unpack_pslg(serde.pack_pslg(pslg))
+        assert np.array_equal(back.points, pslg.points)
+        assert len(back.loops) == len(pslg.loops)
+        for a, b in zip(back.loops, pslg.loops):
+            assert np.array_equal(a.indices, b.indices)
+            assert a.name == b.name
+            assert a.is_body == b.is_body
+
+
+class TestSizingRoundTrip:
+    def test_uniform(self):
+        s = serde.unpack_sizing(serde.pack_sizing(UniformSizing(0.125)))
+        assert isinstance(s, UniformSizing)
+        assert s.area_at(3.0, -4.0) == pytest.approx(0.125, abs=0.0)
+
+    def test_radial_with_inf_cap(self):
+        src = RadialSizing((0.5, -0.25), h0=1e-3, grading=0.3,
+                           h_max=math.inf)
+        s = serde.unpack_sizing(serde.pack_sizing(src))
+        assert isinstance(s, RadialSizing)
+        for x, y in [(0.0, 0.0), (10.0, 5.0), (-3.0, 7.0)]:
+            assert s.area_at(x, y) == pytest.approx(src.area_at(x, y),
+                                                    abs=0.0)
+
+    def test_graded_distance_identical_everywhere(self):
+        rng = np.random.default_rng(6)
+        src = GradedDistanceSizing(rng.uniform(size=(300, 2)), h0=2e-3,
+                                   grading=0.35, h_max=1.5)
+        s = serde.unpack_sizing(serde.pack_sizing(src))
+        assert isinstance(s, GradedDistanceSizing)
+        for x, y in rng.uniform(-20, 20, size=(50, 2)):
+            assert s.area_at(x, y) == pytest.approx(src.area_at(x, y),
+                                                    abs=0.0)
+
+    def test_callable_rejected(self):
+        with pytest.raises(serde.SerdeError, match="not serializable"):
+            serde.pack_sizing(CallableSizing(lambda x, y: 1.0))
+
+
+class TestBLConfigRoundTrip:
+    def test_exact(self):
+        cfg = BoundaryLayerConfig(first_spacing=3e-4, growth_ratio=1.17,
+                                  max_layers=23, isotropy_factor=0.8,
+                                  triangulation="structured")
+        back = serde.unpack_bl_config(serde.pack_bl_config(cfg))
+        assert back == cfg
+
+    def test_growth_override_rejected(self):
+        from repro.sizing.growth import GeometricGrowth
+
+        cfg = BoundaryLayerConfig(growth=GeometricGrowth(1e-3, 1.2))
+        with pytest.raises(serde.SerdeError, match="growth"):
+            serde.pack_bl_config(cfg)
+
+
+class TestHelpers:
+    def test_nest_unnest(self):
+        a = {"x": np.zeros(3), "y": np.ones(2)}
+        b = {"z": np.arange(4)}
+        payload = {**serde.nest("a.", a), **serde.nest("b.", b)}
+        back = serde.unnest("a.", payload)
+        assert sorted(back) == ["x", "y"]
+        assert np.array_equal(back["y"], a["y"])
+        with pytest.raises(serde.SerdeError):
+            serde.unnest("missing.", payload)
+
+    def test_is_buffers(self):
+        assert serde.is_buffers({"a": np.zeros(1)})
+        assert serde.is_buffers({})
+        assert not serde.is_buffers({"a": [1, 2]})
+        assert not serde.is_buffers([np.zeros(1)])
+        assert not serde.is_buffers({1: np.zeros(1)})
+
+    def test_buffers_nbytes(self):
+        buffers = {"a": np.zeros(4, dtype=np.float64),
+                   "b": np.zeros(4, dtype=np.int32)}
+        assert serde.buffers_nbytes(buffers) == 4 * 8 + 4 * 4

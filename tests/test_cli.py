@@ -1,0 +1,58 @@
+"""CLI contract tests: backend flag wiring and fail-fast errors."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runtime import executor
+
+
+class TestBackendFlags:
+    def test_choices_derived_from_registry(self):
+        parser = build_parser()
+        action = next(a for a in parser._actions if a.dest == "backend")
+        assert list(action.choices) == executor.available_backends()
+
+    def test_ranks_with_local_fails_fast(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--naca", "0012", "--backend", "local", "--ranks", "4",
+                  "-o", str(tmp_path / "m")])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--ranks only applies to parallel backends" in err
+        assert "processes" in err and "threads" in err
+
+    def test_ranks_with_serial_alias_fails_fast(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--naca", "0012", "--backend", "serial", "--ranks", "2",
+                  "-o", str(tmp_path / "m")])
+
+    def test_sanitize_with_processes_fails_fast(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--naca", "0012", "--backend", "processes", "--sanitize",
+                  "-o", str(tmp_path / "m")])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--sanitize instruments shared-memory backends only" in err
+        assert "--backend threads" in err
+
+    def test_unknown_backend_rejected_by_argparse(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--naca", "0012", "--backend", "mpi",
+                  "-o", str(tmp_path / "m")])
+
+    def test_env_backend_reported_in_summary(self, monkeypatch, capsys,
+                                             tmp_path):
+        """REPRO_BACKEND drives the run; summary reports the canonical
+        name and rank count."""
+        monkeypatch.setenv(executor.BACKEND_ENV, "local")
+        rc = main(["--naca", "0012", "--surface-points", "31",
+                   "--max-layers", "6", "--farfield-chords", "5",
+                   "--subdomains", "4", "--stats-json",
+                   "-o", str(tmp_path / "m")])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["backend"] == "serial"
+        assert summary["n_ranks"] == 4
+        assert summary["n_triangles"] > 0
