@@ -298,16 +298,16 @@ def triangulate_pslg(points: np.ndarray, segments: np.ndarray,
 
 
 def carve(tri: Triangulation, holes: Sequence[Tuple[float, float]] = ()
-          ) -> List[bool]:
-    """Interior mask over triangle ids (True = keep).
+          ) -> np.ndarray:
+    """Interior mask over triangle ids (True = keep), as a bool array.
 
     Floods "outside" from the ghost layer across non-constrained edges,
     then floods each hole region from its seed point.  Pass the mask to
-    :meth:`Triangulation.to_mesh`.
+    :meth:`Triangulation.to_mesh` (which consumes it without copying).
     """
-    n = len(tri.tri_v)
-    keep = [False] * n
-    outside = [False] * n
+    n = tri._arr.n_tris
+    keep = np.zeros(n, dtype=bool)
+    outside = np.zeros(n, dtype=bool)
     stack: List[int] = []
     for t in tri.live_triangles():
         if tri.is_ghost(t):

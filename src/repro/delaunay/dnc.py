@@ -81,16 +81,15 @@ def triangulate_ordered(points: np.ndarray, policy: OrderPolicy = "brio",
     kernel_id: Dict[int, int] = {}
     for i in order:
         kernel_id[int(i)] = tri.insert_point(points[i, 0], points[i, 1])
-    inv: Dict[int, int] = {}
+    # kernel vertex id -> smallest original index that produced it.
+    arr = tri._arr
+    lut = np.full(arr.n_pts, -1, dtype=np.int64)
     for i, k in kernel_id.items():
-        if k not in inv or i < inv[k]:
-            inv[k] = i
-    tris = [
-        (inv[a], inv[b], inv[c])
-        for t in tri.live_triangles()
-        if not tri.is_ghost(t)
-        for (a, b, c) in (tri.tri_v[t],)
-    ]
-    tarr = (np.asarray(tris, dtype=np.int32)
-            if tris else np.empty((0, 3), dtype=np.int32))
+        if lut[k] < 0 or i < lut[k]:
+            lut[k] = i
+    # Live real rows in id order, remapped in one fancy-index pass.
+    tv = arr.tri_v[: arr.n_tris]
+    rows = tv[tv.min(axis=1) >= 0]
+    tarr = (lut[rows].astype(np.int32)
+            if rows.size else np.empty((0, 3), dtype=np.int32))
     return TriMesh(points, tarr)

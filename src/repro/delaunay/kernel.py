@@ -38,17 +38,28 @@ decoupled inviscid subdomains.  Design:
   :class:`repro.runtime.counters.KernelCounters` absorbs; the overhead
   is a handful of integer adds per insertion.
 
-The structure is array-of-lists Python for mutability; :meth:`to_mesh`
-exports a contiguous :class:`~repro.delaunay.mesh.TriMesh`.
+Storage is the structure-of-arrays core
+:class:`repro.delaunay.arrays.MeshArrays` (preallocated ``float64`` /
+``int32`` NumPy buffers with amortized-doubling growth).  The scalar hot
+paths index the buffers through cached flat :class:`memoryview` casts
+(faster than list-of-lists on CPython and zero-copy into the arrays);
+batch paths (``_expand_level_batch``, grid builds) fancy-index the same
+arrays at C speed; :meth:`to_mesh` is a vectorised compaction whose
+point block can be a zero-copy view.  ``pts`` / ``tri_v`` / ``tri_n`` /
+``vertex_tri`` remain available as read-compatible sequence views for
+consumers and tests.
 """
 
 from __future__ import annotations
 
 import gc
 import math
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+
+from .arrays import DEAD, MeshArrays
 
 from ..geometry.predicates import (
     INCIRCLE_ERR_BOUND,
@@ -71,6 +82,11 @@ __all__ = [
 ]
 
 GHOST = -1
+
+# Negative-index translation tables for flat triangle rows: with a list
+# ``tv``, ``tv[k - 2] == tv[_NXT[k]]`` and ``tv[k - 1] == tv[_PRV[k]]``.
+_NXT = (1, 2, 0)
+_PRV = (2, 0, 1)
 
 # Hot-loop local aliases for the filter bounds (module constants resolve
 # faster than attribute lookups and keep the loops readable).
@@ -103,6 +119,126 @@ class TriangulationError(RuntimeError):
     """Raised for structurally invalid kernel operations."""
 
 
+class _PointsView:
+    """Read-only sequence view of the SoA coordinates: ``pts[v] == (x, y)``.
+
+    Behaves like the historical list of tuples for reading, length,
+    iteration and equality; mutation goes through the kernel only.
+    """
+
+    __slots__ = ("_a",)
+
+    def __init__(self, arr: MeshArrays) -> None:
+        self._a = arr
+
+    def __len__(self) -> int:
+        return self._a.n_pts
+
+    def __getitem__(self, v: int) -> Tuple[float, float]:
+        a = self._a
+        n = a.n_pts
+        if v < 0:
+            v += n
+        if not 0 <= v < n:
+            raise IndexError(f"point index {v} out of range")
+        px = a.px
+        j = 2 * v
+        return (px[j], px[j + 1])
+
+    def __iter__(self):
+        px = self._a.px
+        for v in range(self._a.n_pts):
+            j = 2 * v
+            yield (px[j], px[j + 1])
+
+    def __eq__(self, other) -> bool:
+        try:
+            return list(self) == list(other)
+        except TypeError:
+            return NotImplemented
+
+    __hash__ = None
+
+    def __array__(self, dtype=None, copy=None):
+        out = self._a.pts[: self._a.n_pts]
+        if dtype is not None and np.dtype(dtype) != out.dtype:
+            return out.astype(dtype)
+        return np.array(out, copy=True) if copy else out
+
+    def __repr__(self) -> str:
+        return f"_PointsView(n={len(self)})"
+
+
+class _TriRowsView:
+    """Sequence view of a triangle attribute: ``view[t]`` is the 3-list
+    for a live slot or ``None`` for a dead one (the historical contract).
+    """
+
+    __slots__ = ("_a", "_which")
+
+    def __init__(self, arr: MeshArrays, which: str) -> None:
+        self._a = arr
+        self._which = which  # "v" or "n"
+
+    def __len__(self) -> int:
+        return self._a.n_tris
+
+    def __getitem__(self, t: int) -> Optional[List[int]]:
+        a = self._a
+        n = a.n_tris
+        if t < 0:
+            t += n
+        if not 0 <= t < n:
+            raise IndexError(f"triangle index {t} out of range")
+        i = 3 * t
+        if a.tv[i] == DEAD:
+            return None
+        m = a.tv if self._which == "v" else a.tn
+        return [m[i], m[i + 1], m[i + 2]]
+
+    def __iter__(self):
+        for t in range(self._a.n_tris):
+            yield self[t]
+
+    def __eq__(self, other) -> bool:
+        try:
+            return list(self) == list(other)
+        except TypeError:
+            return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"_TriRowsView({self._which!r}, n={len(self)})"
+
+
+class _VertexTriView:
+    """Read/write int sequence view over ``vertex_tri``."""
+
+    __slots__ = ("_a",)
+
+    def __init__(self, arr: MeshArrays) -> None:
+        self._a = arr
+
+    def __len__(self) -> int:
+        return self._a.n_pts
+
+    def __getitem__(self, v: int) -> int:
+        if not 0 <= v < self._a.n_pts:
+            raise IndexError(f"vertex index {v} out of range")
+        return self._a.vt[v]
+
+    def __setitem__(self, v: int, t: int) -> None:
+        if not 0 <= v < self._a.n_pts:
+            raise IndexError(f"vertex index {v} out of range")
+        self._a.vt[v] = t
+
+    def __iter__(self):
+        vt = self._a.vt
+        for v in range(self._a.n_pts):
+            yield vt[v]
+
+
 class Triangulation:
     """Mutable 2D Delaunay triangulation under incremental insertion.
 
@@ -125,11 +261,17 @@ class Triangulation:
 
     def __init__(self, *, seed: int = 0x5EED,
                  fast_predicates: bool = True) -> None:
-        self.pts: List[Tuple[float, float]] = []
-        self.tri_v: List[Optional[List[int]]] = []   # 3 vertex ids or None (dead)
-        self.tri_n: List[Optional[List[int]]] = []   # 3 neighbour tri ids
-        self._free: List[int] = []
-        self.vertex_tri: List[int] = []              # one incident tri per vertex
+        #: SoA storage: coordinates, triangle vertices/neighbours, free
+        #: list and per-vertex incident triangle all live here.
+        self._arr = MeshArrays()
+        # Sequence-compatible views (read path of refine/constrained/dnc
+        # and the test harness); the kernel itself indexes the flat
+        # memoryviews in self._arr on hot paths.
+        self.pts = _PointsView(self._arr)
+        self.tri_v = _TriRowsView(self._arr, "v")
+        self.tri_n = _TriRowsView(self._arr, "n")
+        self.vertex_tri = _VertexTriView(self._arr)
+        self._free = self._arr.free
         self.constraints: Set[Tuple[int, int]] = set()
         self._last_tri: int = -1                     # walk hint
         # Seeded, instance-owned generator (never the stdlib/global RNG —
@@ -164,64 +306,98 @@ class Triangulation:
         self.stat_batch_entries = 0
         self.stat_walk_hist = [0] * 32
         self.stat_cavity_hist = [0] * 32
+        self.stat_finalize_ns = 0
 
     # ------------------------------------------------------------------
     # Low-level triangle bookkeeping
     # ------------------------------------------------------------------
     def _new_triangle(self, a: int, b: int, c: int) -> int:
-        if self._free:
-            t = self._free.pop()
-            self.tri_v[t] = [a, b, c]
-            self.tri_n[t] = [-1, -1, -1]
+        arr = self._arr
+        if arr.free:
+            t = arr.free.pop()
         else:
-            t = len(self.tri_v)
-            self.tri_v.append([a, b, c])
-            self.tri_n.append([-1, -1, -1])
-        for v in (a, b, c):
-            if v != GHOST:
-                self.vertex_tri[v] = t
+            arr.reserve_triangles(1)
+            t = arr.n_tris
+            arr.n_tris = t + 1
+        tv = arr.tv
+        tn = arr.tn
+        i = 3 * t
+        tv[i] = a
+        tv[i + 1] = b
+        tv[i + 2] = c
+        tn[i] = -1
+        tn[i + 1] = -1
+        tn[i + 2] = -1
+        vt = arr.vt
+        if a != GHOST:
+            vt[a] = t
+        if b != GHOST:
+            vt[b] = t
+        if c != GHOST:
+            vt[c] = t
         self.n_live_triangles += 1
         return t
 
     def _kill_triangle(self, t: int) -> None:
-        self.tri_v[t] = None
-        self.tri_n[t] = None
-        self._free.append(t)
+        self._arr.kill(t)
         self.n_live_triangles -= 1
 
     def is_ghost(self, t: int) -> bool:
-        tv = self.tri_v[t]
-        return tv is not None and (tv[0] == GHOST or tv[1] == GHOST or tv[2] == GHOST)
+        """True if live triangle ``t`` is a ghost.
+
+        Dead-triangle contract (enforced, see :mod:`repro.delaunay.arrays`):
+        callers must not ask about recycled slots — check
+        ``MeshArrays.is_dead`` / ``tri_v[t] is None`` first.  Historically
+        this silently returned ``False`` for dead slots, masking stale-id
+        bugs under free-list reuse.
+        """
+        tv = self._arr.tv
+        i = 3 * t
+        a = tv[i]
+        if a == DEAD:
+            raise TriangulationError(
+                f"is_ghost({t}): dead (recycled) triangle slot")
+        return a == GHOST or tv[i + 1] == GHOST or tv[i + 2] == GHOST
 
     def _edge(self, t: int, k: int) -> Tuple[int, int]:
         """Directed edge opposite vertex ``k`` of triangle ``t``."""
-        tv = self.tri_v[t]
-        return tv[k - 2], tv[k - 1]
+        tv = self._arr.tv
+        i = 3 * t
+        return tv[i + _NXT[k]], tv[i + _PRV[k]]
 
     def _set_mutual(self, t1: int, k1: int, t2: int, k2: int) -> None:
-        self.tri_n[t1][k1] = t2
-        self.tri_n[t2][k2] = t1
+        tn = self._arr.tn
+        tn[3 * t1 + k1] = t2
+        tn[3 * t2 + k2] = t1
 
     def _edge_index(self, t: int, u: int, v: int) -> int:
         """Index k such that the directed edge k of ``t`` is (u, v)."""
-        tv = self.tri_v[t]
+        tv = self._arr.tv
+        i = 3 * t
         for k in range(3):
-            if tv[k - 2] == u and tv[k - 1] == v:
+            if tv[i + _NXT[k]] == u and tv[i + _PRV[k]] == v:
                 return k
-        raise TriangulationError(f"edge ({u},{v}) not in triangle {t}={tv}")
+        raise TriangulationError(
+            f"edge ({u},{v}) not in triangle {t}={self.tri_v[t]}")
 
     def ghost_edge(self, t: int) -> Tuple[int, int]:
         """The real directed hull edge ``(u, v)`` of ghost triangle ``t``."""
-        tv = self.tri_v[t]
+        tv = self._arr.tv
+        i = 3 * t
         for k in range(3):
-            if tv[k] == GHOST:
-                return tv[k - 2], tv[k - 1]
+            if tv[i + k] == GHOST:
+                return tv[i + _NXT[k]], tv[i + _PRV[k]]
         raise TriangulationError(f"triangle {t} is not a ghost")
 
     def live_triangles(self) -> Iterable[int]:
-        for t, tv in enumerate(self.tri_v):
-            if tv is not None:
+        # Re-reads bounds and the view every step so concurrent inserts
+        # behave like iterating the historical (growing) list.
+        arr = self._arr
+        t = 0
+        while t < arr.n_tris:
+            if arr.tv[3 * t] != DEAD:
                 yield t
+            t += 1
 
     # ------------------------------------------------------------------
     # Observability
@@ -245,6 +421,7 @@ class Triangulation:
             "incircle_exact": self.stat_incircle_exact,
             "batch_calls": self.stat_batch_calls,
             "batch_entries": self.stat_batch_entries,
+            "finalize_ns": self.stat_finalize_ns,
             "exact_escalation_rate": (exact / total) if total else 0.0,
             "walk_hist": list(self.stat_walk_hist),
             "cavity_hist": list(self.stat_cavity_hist),
@@ -256,8 +433,9 @@ class Triangulation:
         self.stat_walk_hist[steps if steps < 31 else 31] += 1
         ema = self._walk_ema + 0.125 * (steps - self._walk_ema)
         self._walk_ema = ema
-        if ema > _GRID_EMA_THRESHOLD and len(self.pts) >= _GRID_MIN_POINTS:
-            if self._grid is None or len(self.pts) > self._grid_cap:
+        n_pts = self._arr.n_pts
+        if ema > _GRID_EMA_THRESHOLD and n_pts >= _GRID_MIN_POINTS:
+            if self._grid is None or n_pts > self._grid_cap:
                 self._build_grid()
 
     # ------------------------------------------------------------------
@@ -267,20 +445,23 @@ class Triangulation:
         from ..geometry.aabb import AABB
         from ..spatial.grid import BucketGrid
 
-        pts = self.pts
-        if not pts:
+        n = self._arr.n_pts
+        if n == 0:
             return
-        xs = [q[0] for q in pts]
-        ys = [q[1] for q in pts]
-        bounds = AABB(min(xs), min(ys), max(xs), max(ys))
+        # Vectorised over the SoA point block: bounds and bulk insert
+        # read the float64 buffer directly, no per-point staging.
+        pts = self._arr.pts[:n]
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        bounds = AABB(float(lo[0]), float(lo[1]), float(hi[0]), float(hi[1]))
         # The grid is a snapshot: inserts do not feed it (that would tax
         # every insertion), so when the point count doubles it is rebuilt
         # — a stale nearest vertex is still a nearby walk seed, just a
         # few steps further out.
-        self._grid_cap = max(2 * len(pts), 2 * _GRID_MIN_POINTS)
+        self._grid_cap = max(2 * n, 2 * _GRID_MIN_POINTS)
         grid = BucketGrid(bounds, target_per_bucket=4.0,
                           expected_points=self._grid_cap)
-        grid.insert_many(np.asarray(pts, dtype=np.float64))
+        grid.insert_many(pts)
         self._grid = grid
 
     def _grid_start(self, px: float, py: float) -> int:
@@ -288,8 +469,9 @@ class Triangulation:
         near = self._grid.nearest(px, py)
         if near is None:
             return -1
-        t = self.vertex_tri[near]
-        if t >= 0 and self.tri_v[t] is not None:
+        arr = self._arr
+        t = arr.vt[near]
+        if t >= 0 and arr.tv[3 * t] != DEAD:
             self.stat_grid_seeds += 1
             return t
         return -1
@@ -327,15 +509,22 @@ class Triangulation:
         inconclusive ones escalate to the exact scalar predicates
         (counted as exact).  Decisions are identical to :meth:`_in_disk`.
         """
-        tv = self.tri_v[t]
-        a = tv[0]
-        b = tv[1]
-        c = tv[2]
-        pts = self.pts
+        tvm = self._arr.tv
+        pxm = self._arr.px
+        i = 3 * t
+        a = tvm[i]
+        b = tvm[i + 1]
+        c = tvm[i + 2]
         if a >= 0 and b >= 0 and c >= 0:
-            ax, ay = pts[a]
-            bx, by = pts[b]
-            cx, cy = pts[c]
+            j = 2 * a
+            ax = pxm[j]
+            ay = pxm[j + 1]
+            j = 2 * b
+            bx = pxm[j]
+            by = pxm[j + 1]
+            j = 2 * c
+            cx = pxm[j]
+            cy = pxm[j + 1]
             adx = ax - px
             ady = ay - py
             bdx = bx - px
@@ -365,13 +554,17 @@ class Triangulation:
                     self.stat_incircle_fast += 1
                     return False
             self.stat_incircle_exact += 1
-            return incircle(pts[a], pts[b], pts[c], (px, py)) > 0
+            return incircle((ax, ay), (bx, by), (cx, cy), (px, py)) > 0
         # Ghost triangle: half-plane left of the hull edge plus the open edge.
         u, v = self.ghost_edge(t)
-        pu = pts[u]
-        pv = pts[v]
-        ux, uy = pu
-        vx, vy = pv
+        j = 2 * u
+        ux = pxm[j]
+        uy = pxm[j + 1]
+        j = 2 * v
+        vx = pxm[j]
+        vy = pxm[j + 1]
+        pu = (ux, uy)
+        pv = (vx, vy)
         detleft = (ux - px) * (vy - py)
         detright = (uy - py) * (vx - px)
         det = detleft - detright
@@ -421,20 +614,22 @@ class Triangulation:
         return self._locate_ref(p, hint)
 
     def _walk_start(self, px: float, py: float, hint: int) -> int:
-        tri_v = self.tri_v
-        t = hint if hint >= 0 and tri_v[hint] is not None else -1
+        arr = self._arr
+        tvm = arr.tv
+        t = (hint if 0 <= hint < arr.n_tris and tvm[3 * hint] != DEAD
+             else -1)
         if t < 0:
             if self._grid is not None and self._walk_ema > _GRID_EMA_USE:
                 t = self._grid_start(px, py)
             if t < 0:
                 t = self._last_tri
-            if t < 0 or tri_v[t] is None:
+            if t < 0 or tvm[3 * t] == DEAD:
                 t = next(iter(self.live_triangles()))
         if self.is_ghost(t):
             # step into the real triangle across the hull edge
             u, v = self.ghost_edge(t)
             k = self._edge_index(t, u, v)
-            nb = self.tri_n[t][k]
+            nb = arr.tn[3 * t + k]
             t = nb if nb >= 0 else t
         return t
 
@@ -488,9 +683,10 @@ class Triangulation:
         """Walk with the orientation filter inlined (exact escalation)."""
         px, py = p
         t = self._walk_start(px, py, hint)
-        tri_v = self.tri_v
-        tri_n = self.tri_n
-        pts = self.pts
+        arr = self._arr
+        tvm = arr.tv
+        tnm = arr.tn
+        pxm = arr.px
         max_steps = 4 * (self.n_live_triangles + 8)
         steps = 0
         prev = -1
@@ -499,14 +695,21 @@ class Triangulation:
         result = -1
         while steps < max_steps:
             steps += 1
-            tv = tri_v[t]
-            if tv[0] < 0 or tv[1] < 0 or tv[2] < 0:
+            i3 = 3 * t
+            a0 = tvm[i3]
+            a1 = tvm[i3 + 1]
+            a2 = tvm[i3 + 2]
+            if a0 < 0 or a1 < 0 or a2 < 0:
                 # Ghost triangle: is p in (or on) its half-plane?
-                g = 0 if tv[0] < 0 else (1 if tv[1] < 0 else 2)
-                u = tv[g - 2]
-                v = tv[g - 1]
-                ux, uy = pts[u]
-                vx, vy = pts[v]
+                g = 0 if a0 < 0 else (1 if a1 < 0 else 2)
+                u = tvm[i3 + _NXT[g]]
+                v = tvm[i3 + _PRV[g]]
+                j = 2 * u
+                ux = pxm[j]
+                uy = pxm[j + 1]
+                j = 2 * v
+                vx = pxm[j]
+                vy = pxm[j + 1]
                 detleft = (ux - px) * (vy - py)
                 detright = (uy - py) * (vx - px)
                 det = detleft - detright
@@ -521,26 +724,29 @@ class Triangulation:
                 if inside:
                     result = t
                     break
-                nxt = tri_n[t][g - 2]  # neighbour across (v, G)
+                nxt = tnm[i3 + _NXT[g]]  # neighbour across (v, G)
                 if nxt == prev:
-                    nxt = tri_n[t][g - 1]
+                    nxt = tnm[i3 + _PRV[g]]
                 prev, t = t, nxt
                 continue
             moved = False
             lcg = (lcg * 1103515245 + 12345) & 0x7FFFFFFF
             k0 = lcg % 3
-            tn = tri_n[t]
             for dk in range(3):
                 k = k0 + dk
                 if k > 2:
                     k -= 3
-                nb = tn[k]
+                nb = tnm[i3 + k]
                 if nb == prev:
                     continue
-                u = tv[k - 2]
-                v = tv[k - 1]
-                ux, uy = pts[u]
-                vx, vy = pts[v]
+                u = tvm[i3 + _NXT[k]]
+                v = tvm[i3 + _PRV[k]]
+                j = 2 * u
+                ux = pxm[j]
+                uy = pxm[j + 1]
+                j = 2 * v
+                vx = pxm[j]
+                vy = pxm[j + 1]
                 detleft = (ux - px) * (vy - py)
                 detright = (uy - py) * (vx - px)
                 det = detleft - detright
@@ -635,9 +841,7 @@ class Triangulation:
                 raise TriangulationError(f"duplicate point {p}")
             return dup
 
-        vid = len(self.pts)
-        self.pts.append(p)
-        self.vertex_tri.append(-1)
+        vid = self._arr.new_point(p[0], p[1])
         self.stat_inserts += 1
         self._insert_into_cavity(vid, t0)
         return vid
@@ -653,23 +857,29 @@ class Triangulation:
         exact predicates.  Returns the new vertex id, or ``-2 - v`` when
         the point duplicates existing vertex ``v``.
         """
-        tri_v = self.tri_v
-        tri_n = self.tri_n
-        pts = self.pts
+        arr = self._arr
+        # Reserve-before-alias: the single appended point must not force
+        # a reallocation while the flat views below are live (triangle
+        # growth is reserved inside _retriangulate, which re-aliases).
+        arr.reserve_points(1)
+        tvm = arr.tv
+        tnm = arr.tn
+        pxm = arr.px
         # ---- walking point location (inlined orientation filter) ----
-        t = hint if hint >= 0 and tri_v[hint] is not None else -1
+        t = (hint if 0 <= hint < arr.n_tris and tvm[3 * hint] != DEAD
+             else -1)
         if t < 0:
             if self._grid is not None and self._walk_ema > _GRID_EMA_USE:
                 t = self._grid_start(px, py)
             if t < 0:
                 t = self._last_tri
-            if t < 0 or tri_v[t] is None:
+            if t < 0 or tvm[3 * t] == DEAD:
                 t = next(iter(self.live_triangles()))
-        tv = tri_v[t]
-        if tv[0] < 0 or tv[1] < 0 or tv[2] < 0:
+        i3 = 3 * t
+        if tvm[i3] < 0 or tvm[i3 + 1] < 0 or tvm[i3 + 2] < 0:
             # Ghost start: step across its real edge into the hull.
-            g = 0 if tv[0] < 0 else (1 if tv[1] < 0 else 2)
-            nb = tri_n[t][g]
+            g = (0 if tvm[i3] < 0 else (1 if tvm[i3 + 1] < 0 else 2))
+            nb = tnm[i3 + g]
             if nb >= 0:
                 t = nb
         max_steps = 4 * (self.n_live_triangles + 8)
@@ -691,17 +901,22 @@ class Triangulation:
         certified = False
         while steps < max_steps:
             steps += 1
-            tv = tri_v[t]
-            if tv[0] < 0 or tv[1] < 0 or tv[2] < 0:
+            i3 = 3 * t
+            a0 = tvm[i3]
+            a1 = tvm[i3 + 1]
+            a2 = tvm[i3 + 2]
+            if a0 < 0 or a1 < 0 or a2 < 0:
                 # Ghost: accept if p is in its closed half-plane, else
                 # continue along the hull.
-                g = 0 if tv[0] < 0 else (1 if tv[1] < 0 else 2)
-                pu = pts[tv[g - 2]]
-                pv = pts[tv[g - 1]]
-                ux = pu[0]
-                uy = pu[1]
-                detleft = (ux - px) * (pv[1] - py)
-                detright = (uy - py) * (pv[0] - px)
+                g = 0 if a0 < 0 else (1 if a1 < 0 else 2)
+                j = 2 * tvm[i3 + _NXT[g]]
+                ux = pxm[j]
+                uy = pxm[j + 1]
+                j = 2 * tvm[i3 + _PRV[g]]
+                vx = pxm[j]
+                vy = pxm[j + 1]
+                detleft = (ux - px) * (vy - py)
+                detright = (uy - py) * (vx - px)
                 det = detleft - detright
                 detsum = abs(detleft) + abs(detright)
                 if detsum > _CCW_GUARD:
@@ -713,14 +928,14 @@ class Triangulation:
                         break
                     if -det > errbound:
                         n_ofast += 1
-                        nxt = tri_n[t][g - 2]
+                        nxt = tnm[i3 + _NXT[g]]
                         if nxt == prev:
-                            nxt = tri_n[t][g - 1]
+                            nxt = tnm[i3 + _PRV[g]]
                         prev = t
                         t = nxt
                         continue
                 n_oexact += 1
-                o = orient2d(pu, pv, (px, py))
+                o = orient2d((ux, uy), (vx, vy), (px, py))
                 if o > 0:
                     t0 = t
                     certified = True
@@ -728,31 +943,34 @@ class Triangulation:
                 if o == 0:
                     t0 = t
                     break
-                nxt = tri_n[t][g - 2]
+                nxt = tnm[i3 + _NXT[g]]
                 if nxt == prev:
-                    nxt = tri_n[t][g - 1]
+                    nxt = tnm[i3 + _PRV[g]]
                 prev = t
                 t = nxt
                 continue
             k0 += 1
             if k0 > 2:
                 k0 = 0
-            tn = tri_n[t]
             moved = False
             strict = True
             for dk in (0, 1, 2):
                 k = k0 + dk
                 if k > 2:
                     k -= 3
-                nb = tn[k]
+                nb = tnm[i3 + k]
                 if nb == prev:
                     # Entered across this edge, so p is strictly on this
                     # side of it — no need to re-test.
                     continue
-                pu = pts[tv[k - 2]]
-                pv = pts[tv[k - 1]]
-                detleft = (pu[0] - px) * (pv[1] - py)
-                detright = (pu[1] - py) * (pv[0] - px)
+                j = 2 * tvm[i3 + _NXT[k]]
+                ux = pxm[j]
+                uy = pxm[j + 1]
+                j = 2 * tvm[i3 + _PRV[k]]
+                vx = pxm[j]
+                vy = pxm[j + 1]
+                detleft = (ux - px) * (vy - py)
+                detright = (uy - py) * (vx - px)
                 det = detleft - detright
                 detsum = abs(detleft) + abs(detright)
                 if detsum > _CCW_GUARD:
@@ -767,7 +985,7 @@ class Triangulation:
                         moved = True
                         break
                 n_oexact += 1
-                o = orient2d(pu, pv, (px, py))
+                o = orient2d((ux, uy), (vx, vy), (px, py))
                 if o < 0:
                     prev = t
                     t = nb
@@ -786,24 +1004,28 @@ class Triangulation:
             t0 = self._locate_fallback((px, py))
             certified = False
         # ---- duplicate check (vertices of the containing triangle) ----
-        for vtx in tri_v[t0]:
+        i3 = 3 * t0
+        for vtx in (tvm[i3], tvm[i3 + 1], tvm[i3 + 2]):
             if vtx >= 0:
-                q = pts[vtx]
-                if q[0] == px and q[1] == py:
+                j = 2 * vtx
+                if pxm[j] == px and pxm[j + 1] == py:
                     self._last_tri = t0
                     self.last_created = []
                     self.last_removed = []
                     return -2 - vtx
-        # ---- new vertex ----
-        vid = len(pts)
-        pts.append((px, py))
-        self.vertex_tri.append(-1)
+        # ---- new vertex (capacity reserved at entry) ----
+        vid = arr.n_pts
+        j = 2 * vid
+        pxm[j] = px
+        pxm[j + 1] = py
+        arr.vt[vid] = -1
+        arr.n_pts = vid + 1
         self.stat_inserts += 1
         if not certified and not self._in_disk_fast(t0, px, py):
             # p on the boundary of t0: some adjacent circumdisk holds it.
             found = -1
             for k in (0, 1, 2):
-                nb = tri_n[t0][k]
+                nb = tnm[3 * t0 + k]
                 if nb >= 0 and self._in_disk_fast(nb, px, py):
                     found = nb
                     break
@@ -826,30 +1048,29 @@ class Triangulation:
             cand: List[int] = []
             if constraints:
                 for t in frontier:
-                    tv = tri_v[t]
-                    tn = tri_n[t]
-                    nb = tn[0]
+                    i3 = 3 * t
+                    nb = tnm[i3]
                     if nb >= 0 and nb not in seen:
-                        u = tv[1]
-                        v = tv[2]
+                        u = tvm[i3 + 1]
+                        v = tvm[i3 + 2]
                         if (u >= 0 and v >= 0
                                 and ((u, v) if u < v else (v, u)) in constraints):
                             blocked = True
                         else:
                             cand.append(nb)
-                    nb = tn[1]
+                    nb = tnm[i3 + 1]
                     if nb >= 0 and nb not in seen:
-                        u = tv[2]
-                        v = tv[0]
+                        u = tvm[i3 + 2]
+                        v = tvm[i3]
                         if (u >= 0 and v >= 0
                                 and ((u, v) if u < v else (v, u)) in constraints):
                             blocked = True
                         else:
                             cand.append(nb)
-                    nb = tn[2]
+                    nb = tnm[i3 + 2]
                     if nb >= 0 and nb not in seen:
-                        u = tv[0]
-                        v = tv[1]
+                        u = tvm[i3]
+                        v = tvm[i3 + 1]
                         if (u >= 0 and v >= 0
                                 and ((u, v) if u < v else (v, u)) in constraints):
                             blocked = True
@@ -857,14 +1078,14 @@ class Triangulation:
                             cand.append(nb)
             else:
                 for t in frontier:
-                    tn = tri_n[t]
-                    nb = tn[0]
+                    i3 = 3 * t
+                    nb = tnm[i3]
                     if nb >= 0 and nb not in seen:
                         cand.append(nb)
-                    nb = tn[1]
+                    nb = tnm[i3 + 1]
                     if nb >= 0 and nb not in seen:
                         cand.append(nb)
-                    nb = tn[2]
+                    nb = tnm[i3 + 2]
                     if nb >= 0 and nb not in seen:
                         cand.append(nb)
             if not cand:
@@ -878,24 +1099,30 @@ class Triangulation:
                 if nb in seen:
                     continue  # reached via a sibling this level
                 seen.add(nb)
-                tv = tri_v[nb]
-                a = tv[0]
-                b = tv[1]
-                c = tv[2]
+                j3 = 3 * nb
+                a = tvm[j3]
+                b = tvm[j3 + 1]
+                c = tvm[j3 + 2]
                 if a < 0 or b < 0 or c < 0:
                     if self._in_disk_fast(nb, px, py):
                         cavity.add(nb)
                         frontier.append(nb)
                     continue
-                pa = pts[a]
-                pb = pts[b]
-                pc = pts[c]
-                adx = pa[0] - px
-                ady = pa[1] - py
-                bdx = pb[0] - px
-                bdy = pb[1] - py
-                cdx = pc[0] - px
-                cdy = pc[1] - py
+                j = 2 * a
+                pax = pxm[j]
+                pay = pxm[j + 1]
+                j = 2 * b
+                pbx = pxm[j]
+                pby = pxm[j + 1]
+                j = 2 * c
+                pcx = pxm[j]
+                pcy = pxm[j + 1]
+                adx = pax - px
+                ady = pay - py
+                bdx = pbx - px
+                bdy = pby - py
+                cdx = pcx - px
+                cdy = pcy - py
                 bdxcdy = bdx * cdy
                 cdxbdy = cdx * bdy
                 cdxady = cdx * ady
@@ -933,7 +1160,8 @@ class Triangulation:
                         n_ifast += 1
                         continue
                 n_iexact += 1
-                if incircle(pa, pb, pc, (px, py)) > 0:
+                if incircle((pax, pay), (pbx, pby), (pcx, pcy),
+                            (px, py)) > 0:
                     cavity.add(nb)
                     frontier.append(nb)
         self.stat_incircle_fast += n_ifast
@@ -948,8 +1176,7 @@ class Triangulation:
                 if on_duplicate == "raise":
                     raise TriangulationError(f"duplicate point {p}")
                 return i
-        self.pts.append(p)
-        self.vertex_tri.append(-1)
+        self._arr.new_point(p[0], p[1])
         self.stat_inserts += 1
         if len(self.pts) < 3:
             return len(self.pts) - 1
@@ -1126,34 +1353,37 @@ class Triangulation:
 
     def _expand_level_batch(self, cand: List[int], cavity: Set[int],
                             px: float, py: float) -> List[int]:
-        """Batched in-disk test of one BFS level; returns accepted tris."""
-        tri_v = self.tri_v
-        pts = self.pts
-        reals: List[int] = []
-        coords: List[Tuple[float, float]] = []
+        """Batched in-disk test of one BFS level; returns accepted tris.
+
+        Vectorised over the SoA buffers: one fancy-indexed gather pulls
+        the candidate vertex rows and their coordinates straight out of
+        ``MeshArrays`` (no per-triangle Python coordinate staging), then
+        a single :func:`incircle_batch` call decides the level.  Ghost
+        candidates keep the scalar half-plane test.
+        """
+        arr = self._arr
+        idx = np.asarray(cand, dtype=np.int64)
+        rows = arr.tri_v[idx]                       # (m, 3) gather
+        ghost = rows.min(axis=1) < 0
         nxt: List[int] = []
-        for nb in cand:
-            tv = tri_v[nb]
-            if tv[0] < 0 or tv[1] < 0 or tv[2] < 0:
-                # Ghost candidates stay scalar (cheap half-plane test).
+        if ghost.any():
+            for nb in idx[ghost].tolist():
                 if nb not in cavity and self._in_disk_fast(nb, px, py):
                     cavity.add(nb)
                     nxt.append(nb)
-            elif nb not in cavity:
-                reals.append(nb)
-                coords.append(pts[tv[0]])
-                coords.append(pts[tv[1]])
-                coords.append(pts[tv[2]])
-        if reals:
+        real = ~ghost
+        m = int(real.sum())
+        if m:
+            reals = idx[real].tolist()
+            abc = arr.pts[rows[real]]               # (m, 3, 2) gather
             before = batch_exact_counts()["incircle"]
-            abc = np.asarray(coords, dtype=np.float64).reshape(-1, 3, 2)
             signs = incircle_batch(abc[:, 0], abc[:, 1], abc[:, 2],
                                    np.array((px, py)))
             n_exact = batch_exact_counts()["incircle"] - before
             self.stat_batch_calls += 1
-            self.stat_batch_entries += len(reals)
+            self.stat_batch_entries += m
             self.stat_incircle_exact += n_exact
-            self.stat_incircle_fast += len(reals) - n_exact
+            self.stat_incircle_fast += m - n_exact
             for nb, s in zip(reals, signs.tolist()):
                 if s > 0 and nb not in cavity:
                     cavity.add(nb)
@@ -1190,9 +1420,16 @@ class Triangulation:
                        blocked: bool) -> None:
         """Replace ``cavity`` by the star fan of ``vid`` (shared tail of
         the fast and reference insertion paths)."""
-        tri_v = self.tri_v
-        tri_n = self.tri_n
+        arr = self._arr
         n_cavity = len(cavity)
+        # Reserve-before-alias: a connected cavity of n triangles has at
+        # most n + 2 boundary edges (Euler), so at most n + 2 fan slots
+        # are appended; reserving them up front keeps the flat views
+        # below valid for the whole frame.
+        arr.reserve_triangles(n_cavity + 2)
+        tvm = arr.tv
+        tnm = arr.tn
+        vtm = arr.vt
         self.stat_cavity_tris += n_cavity
         self.stat_cavity_hist[n_cavity if n_cavity < 31 else 31] += 1
 
@@ -1206,11 +1443,13 @@ class Triangulation:
             p = self.pts[vid]
             wrapped_edge = False
             for t in cavity:
+                i3 = 3 * t
                 for k in range(3):
-                    nb = tri_n[t][k]
+                    nb = tnm[i3 + k]
                     if nb not in cavity:
                         continue
-                    u, v = self._edge(t, k)
+                    u = tvm[i3 + _NXT[k]]
+                    v = tvm[i3 + _PRV[k]]
                     if u == GHOST or v == GHOST:
                         continue
                     key = (u, v) if u < v else (v, u)
@@ -1231,20 +1470,20 @@ class Triangulation:
         # any vertex maps or second pass.  New slots come from the free
         # list (cavity slots are freed only afterwards, so ids never
         # collide with live ones).
-        vertex_tri = self.vertex_tri
-        free = self._free
+        free = arr.free
+        n_tris_local = arr.n_tris
         new_tris: List[int] = []
         # Any cavity edge whose neighbour survives starts the ring.
         t = k = -1
         for t in cavity:
-            tn = tri_n[t]
-            if tn[0] not in cavity:
+            i3 = 3 * t
+            if tnm[i3] not in cavity:
                 k = 0
                 break
-            if tn[1] not in cavity:
+            if tnm[i3 + 1] not in cavity:
                 k = 1
                 break
-            if tn[2] not in cavity:
+            if tnm[i3 + 2] not in cavity:
                 k = 2
                 break
         if k < 0:
@@ -1254,26 +1493,31 @@ class Triangulation:
         first_nt = -1
         prev_nt = -1
         while True:
-            tv = tri_v[t]
-            u = tv[k - 2]
-            v = tv[k - 1]
-            nb = tri_n[t][k]
+            i3 = 3 * t
+            u = tvm[i3 + _NXT[k]]
+            v = tvm[i3 + _PRV[k]]
+            nb = tnm[i3 + k]
             if free:
                 nt = free.pop()
-                tri_v[nt] = [u, v, vid]
-                tri_n[nt] = [-1, prev_nt, nb]
             else:
-                nt = len(tri_v)
-                tri_v.append([u, v, vid])
-                tri_n.append([-1, prev_nt, nb])
+                nt = n_tris_local
+                n_tris_local += 1
+            j3 = 3 * nt
+            tvm[j3] = u
+            tvm[j3 + 1] = v
+            tvm[j3 + 2] = vid
+            tnm[j3] = -1
+            tnm[j3 + 1] = prev_nt
+            tnm[j3 + 2] = nb
             if nb >= 0:
                 # Directed edge (v, u) of nb: v appears exactly once there.
-                nv = tri_v[nb]
-                tri_n[nb][0 if nv[1] == v else (1 if nv[2] == v else 2)] = nt
+                m3 = 3 * nb
+                tnm[m3 + (0 if tvm[m3 + 1] == v
+                          else (1 if tvm[m3 + 2] == v else 2))] = nt
             if u >= 0:
-                vertex_tri[u] = nt
+                vtm[u] = nt
             if prev_nt >= 0:
-                tri_n[prev_nt][0] = nt
+                tnm[3 * prev_nt] = nt
             else:
                 first_nt = nt
             prev_nt = nt
@@ -1284,35 +1528,35 @@ class Triangulation:
             if j > 2:
                 j = 0
             while True:
-                nb2 = tri_n[t][j]
+                nb2 = tnm[3 * t + j]
                 if nb2 not in cavity:
                     break
                 t = nb2
-                tvv = tri_v[t]
-                # Edge (v, .) of t, i.e. the index j with tvv[j-2] == v.
-                j = (0 if tvv[0] == v else (1 if tvv[1] == v else 2)) - 1
+                m3 = 3 * t
+                # Edge (v, .) of t, i.e. the index j with tv[j - 2] == v.
+                j = (0 if tvm[m3] == v else (1 if tvm[m3 + 1] == v else 2)) - 1
                 if j < 0:
                     j = 2
             k = j
             if t == start_t and k == start_k:
                 break
-        tri_n[prev_nt][0] = first_nt
-        tri_n[first_nt][1] = prev_nt
+        arr.n_tris = n_tris_local
+        tnm[3 * prev_nt] = first_nt
+        tnm[3 * first_nt + 1] = prev_nt
 
         self.last_removed = list(cavity)
         for t in cavity:
-            tri_v[t] = None
-            tri_n[t] = None
+            tvm[3 * t] = DEAD
         free.extend(cavity)
         self.n_live_triangles += len(new_tris) - n_cavity
         self._last_tri = first_nt
         self.last_created = new_tris
         # Pick a real incident triangle as the vertex hint when available.
-        vertex_tri[vid] = new_tris[0]
+        vtm[vid] = new_tris[0]
         for t in new_tris:
-            tv = tri_v[t]
-            if tv[0] >= 0 and tv[1] >= 0 and tv[2] >= 0:
-                vertex_tri[vid] = t
+            i3 = 3 * t
+            if tvm[i3] >= 0 and tvm[i3 + 1] >= 0 and tvm[i3 + 2] >= 0:
+                vtm[vid] = t
                 break
         if blocked:
             # A constraint clipped the cavity: the star fan is not
@@ -1442,13 +1686,19 @@ class Triangulation:
         Returns the two triangle ids after the flip (same slots reused).
         The quadrilateral must be strictly convex — caller checks.
         """
-        t2 = self.tri_n[t1][k1]
+        arr = self._arr
+        tvm = arr.tv
+        tnm = arr.tn
+        i1 = 3 * t1
+        t2 = tnm[i1 + k1]
         if t2 < 0:
             raise TriangulationError("cannot flip hull edge")
-        u, v = self._edge(t1, k1)
+        u = tvm[i1 + _NXT[k1]]
+        v = tvm[i1 + _PRV[k1]]
         k2 = self._edge_index(t2, v, u)
-        a = self.tri_v[t1][k1]   # apex of t1
-        b = self.tri_v[t2][k2]   # apex of t2
+        i2 = 3 * t2
+        a = tvm[i1 + k1]   # apex of t1
+        b = tvm[i2 + k2]   # apex of t2
         if GHOST in (a, b, u, v):
             raise TriangulationError("cannot flip an edge of a ghost triangle")
         key = (u, v) if u < v else (v, u)
@@ -1457,47 +1707,64 @@ class Triangulation:
 
         # Outer neighbours before rewiring.
         # Edges of t1 = [.., a at k1], directed edges: k1:(u,v), k1+1:(v,a), k1+2:(a,u)
-        n_va = self.tri_n[t1][k1 - 2]    # across (v, a)
-        n_au = self.tri_n[t1][k1 - 1]    # across (a, u)
-        n_ub = self.tri_n[t2][k2 - 2]    # across (u, b)
-        n_bv = self.tri_n[t2][k2 - 1]    # across (b, v)
+        n_va = tnm[i1 + _NXT[k1]]    # across (v, a)
+        n_au = tnm[i1 + _PRV[k1]]    # across (a, u)
+        n_ub = tnm[i2 + _NXT[k2]]    # across (u, b)
+        n_bv = tnm[i2 + _PRV[k2]]    # across (b, v)
 
         # New triangles: t1 <- [a, u, b], t2 <- [b, v, a]; shared edge (a, b)?
         # t1=[a,u,b]: edges: 0:(u,b) -> n_ub ; 1:(b,a) -> t2 ; 2:(a,u) -> n_au
         # t2=[b,v,a]: edges: 0:(v,a) -> n_va ; 1:(a,b) -> t1 ; 2:(b,v) -> n_bv
-        self.tri_v[t1] = [a, u, b]
-        self.tri_v[t2] = [b, v, a]
-        self.tri_n[t1] = [n_ub, t2, n_au]
-        self.tri_n[t2] = [n_va, t1, n_bv]
+        tvm[i1] = a
+        tvm[i1 + 1] = u
+        tvm[i1 + 2] = b
+        tvm[i2] = b
+        tvm[i2 + 1] = v
+        tvm[i2 + 2] = a
+        tnm[i1] = n_ub
+        tnm[i1 + 1] = t2
+        tnm[i1 + 2] = n_au
+        tnm[i2] = n_va
+        tnm[i2 + 1] = t1
+        tnm[i2 + 2] = n_bv
         # Fix back-pointers of outer neighbours.
-        for t, k, nb, eu, ev in (
-            (t1, 0, n_ub, u, b),
-            (t1, 2, n_au, a, u),
-            (t2, 0, n_va, v, a),
-            (t2, 2, n_bv, b, v),
+        for t, nb, eu, ev in (
+            (t1, n_ub, u, b),
+            (t1, n_au, a, u),
+            (t2, n_va, v, a),
+            (t2, n_bv, b, v),
         ):
             if nb >= 0:
-                self.tri_n[nb][self._edge_index(nb, ev, eu)] = t
-        for vv in (a, u, b):
-            if vv != GHOST:
-                self.vertex_tri[vv] = t1
-        for vv in (b, v, a):
-            if vv != GHOST:
-                self.vertex_tri[vv] = t2
+                tnm[3 * nb + self._edge_index(nb, ev, eu)] = t
+        # All four quad vertices are real (GHOST raised above); net effect
+        # of the old per-triangle hint loops: u -> t1, the rest -> t2.
+        vtm = arr.vt
+        vtm[u] = t1
+        vtm[b] = t2
+        vtm[v] = t2
+        vtm[a] = t2
         self.stat_flips += 1
         return t1, t2
 
     def edge_is_flippable(self, t1: int, k1: int) -> bool:
         """The quad around edge k1 of t1 is strictly convex and all-real."""
-        t2 = self.tri_n[t1][k1]
+        arr = self._arr
+        tvm = arr.tv
+        i1 = 3 * t1
+        t2 = arr.tn[i1 + k1]
         if t2 < 0 or self.is_ghost(t1) or self.is_ghost(t2):
             return False
-        u, v = self._edge(t1, k1)
+        u = tvm[i1 + _NXT[k1]]
+        v = tvm[i1 + _PRV[k1]]
         k2 = self._edge_index(t2, v, u)
-        a = self.tri_v[t1][k1]
-        b = self.tri_v[t2][k2]
-        pa, pb = self.pts[a], self.pts[b]
-        pu, pv = self.pts[u], self.pts[v]
+        a = tvm[i1 + k1]
+        b = tvm[3 * t2 + k2]
+        pxm = arr.px
+        ja, jb, ju, jv = 2 * a, 2 * b, 2 * u, 2 * v
+        pa = (pxm[ja], pxm[ja + 1])
+        pb = (pxm[jb], pxm[jb + 1])
+        pu = (pxm[ju], pxm[ju + 1])
+        pv = (pxm[jv], pxm[jv + 1])
         return (
             orient2d(pa, pu, pb) > 0
             and orient2d(pb, pv, pa) > 0
@@ -1571,31 +1838,31 @@ class Triangulation:
         (used by exterior/hole carving).  Vertices are compacted; the
         constraint set is exported as ``segments`` (only those whose both
         endpoints survive).
+
+        The compaction is fully vectorised (:meth:`MeshArrays.compact`,
+        no per-triangle Python loops); when every kernel vertex survives
+        the point block is a read-only zero-copy view of kernel storage.
         """
-        tris: List[Tuple[int, int, int]] = []
-        for t in self.live_triangles():
-            if self.is_ghost(t):
-                continue
-            if keep_mask is not None and not keep_mask[t]:
-                continue
-            tris.append(tuple(self.tri_v[t]))
-        used = sorted({v for tri in tris for v in tri})
-        remap = {v: i for i, v in enumerate(used)}
-        pts = (np.asarray([self.pts[v] for v in used], dtype=np.float64)
-               if used else np.empty((0, 2), dtype=np.float64))
-        tarr = (
-            np.asarray([[remap[a], remap[b], remap[c]] for a, b, c in tris],
-                       dtype=np.int32)
-            if tris else np.empty((0, 3), dtype=np.int32)
-        )
-        segs = [
-            (remap[u], remap[v])
-            for u, v in self.constraints
-            if u in remap and v in remap
-        ]
+        t_start = time.perf_counter_ns()  # lint: disable=R5 -- finalize_ns counter source, absorbed by runtime.counters
+        arr = self._arr
+        mask = None
+        if keep_mask is not None:
+            mask = np.zeros(arr.n_tris, dtype=bool)
+            km = np.asarray(keep_mask, dtype=bool)
+            n = min(len(km), arr.n_tris)
+            mask[:n] = km[:n]
+        pts, tarr, remap = arr.compact(mask)
+        if remap is None:
+            # Dense compaction: kernel vertex ids are the mesh ids.
+            segs = list(self.constraints)
+        else:
+            segs = [(remap[u], remap[v]) for u, v in self.constraints
+                    if remap[u] >= 0 and remap[v] >= 0]
         sarr = (np.asarray(sorted(segs), dtype=np.int32)
                 if segs else np.empty((0, 2), dtype=np.int32))
-        return TriMesh(pts, tarr, sarr)
+        mesh = TriMesh(pts, tarr, sarr)
+        self.stat_finalize_ns += time.perf_counter_ns() - t_start  # lint: disable=R5 -- finalize_ns counter source, absorbed by runtime.counters
+        return mesh
 
     # ------------------------------------------------------------------
     # Structural self-check (tests, expensive)
@@ -1677,6 +1944,8 @@ def _triangulate_with_map(points: np.ndarray, *, assume_sorted: bool,
     if len(points) and not np.isfinite(points).all():
         raise ValueError("non-finite coordinates")
     tri = Triangulation(seed=seed, fast_predicates=fast_predicates)
+    # Bulk pre-reserve: one allocation instead of log2(n) doublings.
+    tri._arr.reserve_points(len(points))
     if assume_sorted:
         order = range(len(points))
     else:

@@ -52,6 +52,17 @@ class TriMesh:
             raise ValueError("triangles must be (m, 3)")
         if self.triangles.size and self.triangles.max() >= len(self.points):
             raise ValueError("triangle index out of range")
+        if self.triangles.size and self.triangles.min() < 0:
+            raise ValueError("negative triangle index")
+        if self.segments.size and (
+            self.segments.ndim != 2 or self.segments.shape[1] != 2
+        ):
+            raise ValueError("segments must be (s, 2)")
+        if self.segments.size and (
+            self.segments.min() < 0
+            or self.segments.max() >= len(self.points)
+        ):
+            raise ValueError("segment index out of range")
 
     # ------------------------------------------------------------------
     # Sizes
@@ -296,37 +307,46 @@ def merge_meshes(meshes: List[TriMesh], *, tol: float = 1e-12) -> TriMesh:
     """
     if not meshes:
         raise ValueError("no meshes to merge")
-    key_of: Dict[Tuple[int, int], int] = {}
-    pts: List[Tuple[float, float]] = []
-    tris: List[Tuple[int, int, int]] = []
-    segs: List[Tuple[int, int]] = []
     inv = 1.0 / tol
 
-    def global_id(x: float, y: float) -> int:
-        key = (int(round(x * inv)), int(round(y * inv)))
-        gid = key_of.get(key)
-        if gid is None:
-            gid = len(pts)
-            key_of[key] = gid
-            pts.append((x, y))
-        return gid
+    # Weld: quantised keys for every vertex of every mesh, welded to the
+    # global id of their first appearance (np.round == round: both
+    # half-to-even).  Fully vectorised — no per-vertex Python loop.
+    all_pts = np.vstack([np.asarray(m.points, dtype=np.float64).reshape(-1, 2)
+                         for m in meshes])
+    keys = np.round(all_pts * inv).astype(np.int64)
+    _, first_idx, inverse = np.unique(keys, axis=0, return_index=True,
+                                      return_inverse=True)
+    # np.unique sorts by key; renumber so gids follow first appearance.
+    appearance = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(first_idx), dtype=np.int64)
+    rank[appearance] = np.arange(len(first_idx), dtype=np.int64)
+    gid = rank[inverse]
+    points = all_pts[first_idx[appearance]]
 
-    seen_tris: Set[Tuple[int, int, int]] = set()
-    for m in meshes:
-        local = [global_id(float(x), float(y)) for x, y in m.points]
-        for a, b, c in m.triangles:
-            tri = (local[a], local[b], local[c])
-            canon = tuple(sorted(tri))
-            if canon in seen_tris:
-                continue
-            seen_tris.add(canon)
-            tris.append(tri)
-        for u, v in m.segments:
-            segs.append((local[u], local[v]))
+    offsets = np.cumsum([0] + [m.n_points for m in meshes])
+    tri_blocks = [
+        gid[offsets[i]:offsets[i + 1]][np.asarray(m.triangles, np.int64)]
+        for i, m in enumerate(meshes) if m.n_triangles
+    ]
+    if tri_blocks:
+        tris = np.vstack(tri_blocks)
+        # Drop duplicate triangles (none expected), keeping first
+        # appearance order like the sequential weld did.
+        canon = np.sort(tris, axis=1)
+        _, tfirst = np.unique(canon, axis=0, return_index=True)
+        tris = tris[np.sort(tfirst)].astype(np.int32)
+    else:
+        tris = np.empty((0, 3), np.int32)
 
-    return TriMesh(
-        np.asarray(pts, dtype=np.float64),
-        np.asarray(tris, dtype=np.int32) if tris else np.empty((0, 3), np.int32),
-        np.asarray(sorted({(min(u, v), max(u, v)) for u, v in segs}),
-                   dtype=np.int32) if segs else np.empty((0, 2), np.int32),
-    )
+    seg_blocks = [
+        gid[offsets[i]:offsets[i + 1]][np.asarray(m.segments, np.int64)]
+        for i, m in enumerate(meshes) if len(m.segments)
+    ]
+    if seg_blocks:
+        segs = np.sort(np.vstack(seg_blocks), axis=1)
+        segs = np.unique(segs, axis=0).astype(np.int32)
+    else:
+        segs = np.empty((0, 2), np.int32)
+
+    return TriMesh(points, tris, segs)

@@ -519,11 +519,16 @@ class Refiner:
     # Output
     # ------------------------------------------------------------------
     def to_mesh(self) -> TriMesh:
-        mask_list = [False] * len(self.tri.tri_v)
+        arr = self.tri._arr
+        mask = np.zeros(arr.n_tris, dtype=bool)
         for t, lab in self._interior.items():
-            if self.tri.tri_v[t] is not None and lab:
-                mask_list[t] = True
-        return self.tri.to_mesh(keep_mask=mask_list)
+            if lab and not arr.is_dead(t):
+                mask[t] = True
+        mesh = self.tri.to_mesh(keep_mask=mask)
+        sink = counters_current()
+        if sink is not None:
+            sink.absorb_finalize(self.tri)
+        return mesh
 
 
 def refine_pslg(

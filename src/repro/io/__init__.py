@@ -6,6 +6,7 @@ from .meshio import (
     read_mesh_npz,
     read_node,
     read_poly,
+    read_vtk,
     write_ele,
     write_mesh_ascii,
     write_mesh_npz,
@@ -20,6 +21,7 @@ __all__ = [
     "read_mesh_npz",
     "read_node",
     "read_poly",
+    "read_vtk",
     "write_ele",
     "write_mesh_ascii",
     "write_mesh_npz",

@@ -28,7 +28,7 @@ __all__ = ["Finding", "FileContext", "LintRunner", "run_lint",
 
 #: Bumped whenever a rule is added or its detection heuristic changes, so
 #: machine consumers (CI, ``--stats-json``) can pin expectations.
-RULESET_VERSION = "1.0"
+RULESET_VERSION = "1.1"
 
 # ``lint: disable=R1`` or ``lint: disable=R1,R6 -- why this is fine``
 # (only real COMMENT tokens are scanned, so docstring examples don't count).

@@ -16,7 +16,7 @@ from .engine import FileContext, Finding
 
 __all__ = ["Rule", "ALL_RULES", "rule_ids",
            "DetSignRule", "FloatEqRule", "RngRule", "SetIterRule",
-           "WallClockRule", "LocksetRule"]
+           "WallClockRule", "LocksetRule", "BufferCopyRule"]
 
 
 class Rule:
@@ -501,6 +501,83 @@ class LocksetRule(Rule):
         return findings
 
 
+# ----------------------------------------------------------------------
+# R7 — Python-loop copies out of mesh buffers in finalize/serde code
+# ----------------------------------------------------------------------
+class BufferCopyRule(Rule):
+    """R7: finalize/serde paths must not copy mesh buffers element-wise.
+
+    Invariant (array-backed mesh core): ``to_mesh``/``compact`` hand back
+    NumPy views or vectorized compactions of the SoA kernel storage, and
+    the serde layer transports those buffers whole.  A Python ``for``
+    loop (or comprehension) that walks ``pts``/``tri_v``/``points``/
+    ``triangles``/... inside one of these functions reintroduces the
+    O(n)-interpreter-ops export the refactor removed — the 172M-triangle
+    runs of Section IV pay it as minutes, not microseconds.
+
+    Heuristic: a loop or comprehension whose *iterable* mentions a mesh
+    buffer name (``pts``, ``tri_v``, ``tri_n``, ``vertex_tri``, ``px``,
+    ``tv``, ``tn``, ``vt``, ``points``, ``triangles``, ``segments``),
+    lexically inside a function named ``compact``/``to_mesh``/
+    ``to_trimesh``/``pack_*``/``unpack_*``/``buffers_*``.  Loops over
+    other state (constraint lists, label dicts) are not flagged.
+
+    Fix: vectorize — boolean masks, fancy indexing, ``remap[tris]`` —
+    or, when a per-element walk is genuinely required (e.g. constraint
+    filtering), hoist it out of the finalize/serde function or carry a
+    justified pragma.
+    """
+
+    id = "R7"
+    title = "per-element Python loop over mesh buffers in finalize/serde"
+    invariant = "zero-Python-loop mesh finalize and transport"
+
+    _FUNC_NAMES = {"compact", "to_mesh", "to_trimesh"}
+    _FUNC_PREFIXES = ("pack_", "unpack_", "buffers_")
+    _BUFFERS = {"pts", "tri_v", "tri_n", "vertex_tri", "px", "tv", "tn",
+                "vt", "points", "triangles", "segments"}
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_pkg("repro")
+
+    def _in_scope(self, name: str) -> bool:
+        return (name in self._FUNC_NAMES
+                or name.startswith(self._FUNC_PREFIXES))
+
+    def _mentions_buffer(self, expr: ast.expr) -> Optional[str]:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) and node.attr in self._BUFFERS:
+                return node.attr
+            if isinstance(node, ast.Name) and node.id in self._BUFFERS:
+                return node.id
+        return None
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for scope in _scopes(ctx):
+            if not (isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and self._in_scope(scope.name)):
+                continue
+            for node in _scoped_walk(scope):
+                iters: List[ast.expr] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.GeneratorExp, ast.DictComp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    buf = self._mentions_buffer(it)
+                    if buf is not None:
+                        findings.append(self.finding(
+                            ctx, node,
+                            f"Python loop over mesh buffer '{buf}' in "
+                            f"'{scope.name}' — finalize/serde must stay "
+                            "vectorized (masks, fancy indexing); per-element "
+                            "walks undo the zero-copy export"))
+                        break
+        return findings
+
+
 ALL_RULES: Sequence[Rule] = (
     DetSignRule(),
     FloatEqRule(),
@@ -508,6 +585,7 @@ ALL_RULES: Sequence[Rule] = (
     SetIterRule(),
     WallClockRule(),
     LocksetRule(),
+    BufferCopyRule(),
 )
 
 

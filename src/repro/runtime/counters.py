@@ -113,7 +113,7 @@ class KernelCounters:
         "inserts", "locates", "walk_steps", "brute_locates", "grid_seeds",
         "cavity_triangles", "flips",
         "orient_fast", "orient_exact", "incircle_fast", "incircle_exact",
-        "batch_calls", "batch_entries",
+        "batch_calls", "batch_entries", "finalize_ns",
         "walk_hist", "cavity_hist",
     )
 
@@ -131,6 +131,7 @@ class KernelCounters:
         self.incircle_exact = 0
         self.batch_calls = 0
         self.batch_entries = 0
+        self.finalize_ns = 0
         self.walk_hist = Histogram(32)
         self.cavity_hist = Histogram(32)
 
@@ -149,6 +150,7 @@ class KernelCounters:
         self.incircle_exact += tri.stat_incircle_exact
         self.batch_calls += tri.stat_batch_calls
         self.batch_entries += tri.stat_batch_entries
+        self.finalize_ns += tri.stat_finalize_ns
         self.walk_hist.merge_counts(
             tri.stat_walk_hist, tri.stat_locates, tri.stat_walk_steps)
         self.cavity_hist.merge_counts(
@@ -226,6 +228,7 @@ class KernelCounters:
             "incircle_exact": self.incircle_exact,
             "batch_calls": self.batch_calls,
             "batch_entries": self.batch_entries,
+            "finalize_ns": self.finalize_ns,
             "exact_escalation_rate": self.exact_escalation_rate,
         }
 
@@ -243,6 +246,7 @@ class KernelCounters:
             f"  batched entries    {self.batch_entries}"
             f"  in {self.batch_calls} batch calls",
             f"  flips              {self.flips}",
+            f"  finalize time      {self.finalize_ns / 1e6:.2f} ms",
             f"  exact escalation   {self.exact_escalation_rate:.4%}",
         ]
         return "\n".join(lines)
@@ -276,6 +280,18 @@ class Counters:
     def absorb_kernel(self, tri) -> None:
         with self._lock:
             self.kernel.absorb(tri)
+
+    def absorb_finalize(self, tri) -> None:
+        """Accumulate (and reset) a kernel's finalize time.
+
+        ``to_mesh`` runs *after* the refinement loop has already
+        absorbed the kernel's insert-path counters, so the finalize cost
+        is collected separately; resetting the stat keeps a later full
+        ``absorb`` from double-counting it.
+        """
+        with self._lock:
+            self.kernel.finalize_ns += tri.stat_finalize_ns
+        tri.stat_finalize_ns = 0
 
     def incr(self, name: str, n: int = 1) -> None:
         with self._lock:

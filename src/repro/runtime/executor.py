@@ -21,8 +21,11 @@ the seam that decides *what a worker is*:
     (LPT) over N processes plus steal-on-idle through a shared
     :class:`LoadBoard`.  Payloads and results cross the process boundary
     only as flat numpy buffer dicts (:mod:`repro.runtime.serde`), never
-    as pickled Python object graphs; per-worker profiling counters are
-    snapshotted and merged back into the parent's ambient sink.
+    as pickled Python object graphs; results of ≥ 64 KiB travel through
+    refcounted ``multiprocessing.shared_memory`` segments (the parent
+    maps them zero-copy and unlinks when the last view dies); per-worker
+    profiling counters are snapshotted and merged back into the parent's
+    ambient sink.
 
 Every backend implements the :class:`Backend` protocol —
 ``map_workitems(fn, payloads, costs, n_ranks) -> results`` (in payload
@@ -43,6 +46,7 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
 
 from ..lint import tsan
 from . import counters as counters_mod
+from . import serde
 from .counters import phase
 from .serde import is_buffers
 
@@ -339,7 +343,14 @@ def lpt_assignment(costs: Sequence[float], n_workers: int) -> List[List[int]]:
 
 def _process_worker(rank: int, fn, payloads, board: LoadBoard,
                     result_q, profile: bool) -> None:
-    """Worker-process main loop: claim, process, ship buffers back."""
+    """Worker-process main loop: claim, process, ship buffers back.
+
+    Results at or above :data:`repro.runtime.serde.SHM_MIN_BYTES` go
+    through a ``multiprocessing.shared_memory`` segment (one C-speed
+    copy, no pickling of the arrays); only the segment name and layout
+    cross the queue.  Small results ship inline — the pickle is cheaper
+    than a segment round trip.
+    """
     try:
         sink = counters_mod.Counters() if profile else None
         processed = 0
@@ -358,7 +369,16 @@ def _process_worker(rank: int, fn, payloads, board: LoadBoard,
                         f"{type(result).__name__} for item {idx}; process "
                         "workers must return flat serde buffer dicts"
                     )
-                result_q.put(("ok", idx, result))
+                if serde.buffers_nbytes(result) >= serde.SHM_MIN_BYTES:
+                    try:
+                        name, meta = serde.buffers_to_shm(result)
+                        result_q.put(("shm", idx, name, meta))
+                    except OSError:
+                        # No usable /dev/shm (tiny containers): fall
+                        # back to the inline path rather than fail.
+                        result_q.put(("ok", idx, result))
+                else:
+                    result_q.put(("ok", idx, result))
                 processed += 1
                 steals += int(stolen)
         snapshot = sink.snapshot() if sink is not None else None
@@ -379,8 +399,9 @@ class ProcessesBackend:
     """GIL-free workers over ``multiprocessing`` (fork when available).
 
     Largest-first static distribution plus steal-on-idle via the shared
-    :class:`LoadBoard`; buffer-dict payloads/results only; per-worker
-    counter snapshots merged into the parent's ambient profiling sink.
+    :class:`LoadBoard`; buffer-dict payloads/results only (large results
+    via refcounted shared-memory segments); per-worker counter snapshots
+    merged into the parent's ambient profiling sink.
     """
 
     name = "processes"
@@ -465,6 +486,10 @@ class ProcessesBackend:
                     if msg[0] == "ok":
                         _, idx, result = msg
                         out[idx] = result
+                        seen[idx] = True
+                    elif msg[0] == "shm":
+                        _, idx, name, meta = msg
+                        out[idx] = serde.buffers_from_shm(name, meta)
                         seen[idx] = True
                     elif msg[0] == "done":
                         _, rank, processed, steals, snapshot = msg

@@ -31,7 +31,7 @@ objects share one payload; :func:`unnest` extracts them back.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -42,6 +42,9 @@ __all__ = [
     "buffers_nbytes",
     "nest",
     "unnest",
+    "SHM_MIN_BYTES",
+    "buffers_to_shm",
+    "buffers_from_shm",
     "pack_mesh",
     "unpack_mesh",
     "pack_subdomain",
@@ -108,6 +111,113 @@ def unnest(prefix: str, payload: Buffers) -> Buffers:
     out = {k[n:]: v for k, v in payload.items() if k.startswith(prefix)}
     if not out:
         raise SerdeError(f"payload holds nothing under prefix {prefix!r}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+#: Results below this wire size ship inline through the queue — one
+#: 64 KiB pickle is cheaper than a segment create/attach round trip.
+SHM_MIN_BYTES = 1 << 16
+
+#: Picklable segment layout: ``(key, dtype_str, shape, byte_offset)``.
+ShmMeta = List[Tuple[str, str, Tuple[int, ...], int]]
+
+
+def buffers_to_shm(buffers: Buffers) -> Tuple[str, ShmMeta]:
+    """Copy a buffer dict into one ``multiprocessing.shared_memory``
+    segment (single C-speed copy per array, no pickling of the data).
+
+    Returns ``(name, meta)``; only this small control tuple crosses the
+    queue.  The caller-side segment handle is closed and the segment is
+    *unregistered from this process's resource tracker* before returning:
+    ownership transfers with the name.  Without the unregister, a sender
+    process exiting before the receiver attaches would have its tracker
+    unlink the segment and destroy the result in flight.  The receiver
+    (:func:`buffers_from_shm`) re-registers on attach and owns unlinking.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    meta: ShmMeta = []
+    offset = 0
+    arrays = []
+    for key, v in buffers.items():
+        a = np.ascontiguousarray(v)
+        offset = (offset + 7) & ~7  # 8-byte-align every block
+        meta.append((key, a.dtype.str, a.shape, offset))
+        arrays.append(a)
+        offset += a.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    try:
+        for (key, dtype, shape, off), a in zip(meta, arrays):
+            if a.size:
+                dst = np.frombuffer(shm.buf, dtype=a.dtype, count=a.size,
+                                    offset=off)
+                dst[:] = a.ravel()
+                del dst  # release the view so close() can unmap
+        name = shm.name
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass  # non-POSIX trackers: registration never happened
+    finally:
+        shm.close()
+    from . import counters as counters_mod
+
+    sink = counters_mod.current()
+    if sink is not None:
+        sink.incr("serde.bytes_shm", offset)
+    return name, meta
+
+
+#: Fallback keep-alive registry for exotic platforms (see below).
+_shm_keepalive: List[object] = []
+
+
+def buffers_from_shm(name: str, meta: ShmMeta) -> Buffers:
+    """Attach a segment written by :func:`buffers_to_shm` and return the
+    buffer dict as **read-only zero-copy views** over the mapping.
+
+    Lifetime is refcounted through the buffer chain, the classic POSIX
+    unlink-after-attach idiom: the name is unlinked immediately (which
+    also deregisters it from the resource tracker), so the kernel frees
+    the segment as soon as the last mapping disappears — i.e. when the
+    last returned array is garbage-collected and releases the
+    ``array -> memoryview -> mmap`` chain.  No finalizer callbacks are
+    involved (an ndarray finalizer fires *before* the array releases its
+    buffer export, so an explicit ``close()`` there can never succeed on
+    the last view).  Nothing is copied out.
+    """
+    import os
+
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    buf = shm.buf
+    # Detach the handle so ``SharedMemory.__del__`` cannot try to close
+    # the mapping out from under the live views; the mmap stays alive
+    # through ``buf`` and unmaps (freeing the unlinked segment) when the
+    # last array view dies.  The fd is not needed once mapped.
+    try:
+        shm._buf = None
+        shm._mmap = None
+        if shm._fd >= 0:
+            os.close(shm._fd)
+            shm._fd = -1
+    except AttributeError:  # unexpected stdlib layout: leak-until-exit
+        _shm_keepalive.append(shm)
+    out: Buffers = {}
+    for key, dtype, shape, off in meta:
+        count = int(np.prod(shape, dtype=np.int64))
+        a = np.frombuffer(buf, dtype=np.dtype(dtype), count=count,
+                          offset=off).reshape(shape)
+        a.flags.writeable = False
+        out[key] = a
     return out
 
 

@@ -21,6 +21,22 @@ class TestBasics:
         with pytest.raises(ValueError):
             TriMesh(np.zeros((2, 2)), np.array([(0, 1, 2)]))
 
+    def test_negative_triangle_index_rejected(self):
+        # Regression: only the upper bound used to be checked, so a
+        # stray GHOST (-1) id slipped through validation.
+        with pytest.raises(ValueError, match="negative"):
+            TriMesh(np.zeros((3, 2)), np.array([(0, 1, -1)]))
+
+    def test_segment_indices_validated(self):
+        pts = np.array([(0, 0), (1, 0), (1, 1)], dtype=float)
+        tris = np.array([(0, 1, 2)])
+        with pytest.raises(ValueError, match="segment"):
+            TriMesh(pts, tris, np.array([(0, 3)]))
+        with pytest.raises(ValueError, match="segment"):
+            TriMesh(pts, tris, np.array([(-1, 1)]))
+        with pytest.raises(ValueError, match="segment"):
+            TriMesh(pts, tris, np.array([(0, 1, 2)]))
+
     def test_areas_and_centroids(self):
         m = unit_square_two_tris()
         np.testing.assert_allclose(m.areas(), [0.5, 0.5])

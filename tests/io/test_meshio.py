@@ -94,6 +94,41 @@ class TestPoly:
         assert len(holes) == 0
         assert len(got.loops) == 1
 
+    def test_poly_markers_round_trip(self, tmp_path):
+        pslg = PSLG.from_loops([naca0012(21)])
+        segs = pslg.all_segments()
+        markers = np.arange(100, 100 + len(segs))
+        p = tmp_path / "c.poly"
+        write_poly(p, pslg, markers=markers)
+        got, _holes, got_markers = read_poly(p, with_markers=True)
+        # Markers follow the reconstructed segment order: match per edge.
+        want = {(int(u), int(v)): int(m)
+                for (u, v), m in zip(segs, markers)}
+        for (u, v), m in zip(got.all_segments(), got_markers):
+            assert want[(int(u), int(v))] == int(m)
+        # Marker-less files report markers=None but still parse.
+        write_poly(tmp_path / "d.poly", pslg)
+        _, _, none_markers = read_poly(tmp_path / "d.poly",
+                                       with_markers=True)
+        assert none_markers is None
+
+    def test_poly_marker_length_mismatch(self, tmp_path):
+        pslg = PSLG.from_loops([naca0012(21)])
+        with pytest.raises(ValueError, match="markers"):
+            write_poly(tmp_path / "e.poly", pslg, markers=[1, 2, 3])
+
+    def test_poly_malformed(self, tmp_path):
+        p = tmp_path / "bad.poly"
+        p.write_text("3 3 0 0\n")
+        with pytest.raises(ValueError, match="2D"):
+            read_poly(p)
+        p.write_text("2 2 0 0\n1 0.0 0.0\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_poly(p)
+        p.write_text("1 2 0 0\n1 0.0 0.0\n2 0\n1 1 1\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_poly(p)
+
 
 class TestCLI:
     def test_naca_end_to_end(self, tmp_path):
@@ -144,6 +179,54 @@ class TestVTK:
         with pytest.raises(ValueError):
             write_vtk(tmp_path / "m.vtk", mesh,
                       cell_data={"bad": np.zeros(3)})
+
+    def test_vtk_round_trip_with_data(self, tmp_path, mesh):
+        from repro.io.meshio import read_vtk, write_vtk
+
+        cp = np.linspace(-1.0, 1.0, mesh.n_points)
+        area = mesh.areas()
+        p = write_vtk(tmp_path / "m.vtk", mesh,
+                      cell_data={"area": area}, point_data={"cp": cp})
+        got, cell_data, point_data = read_vtk(p)
+        np.testing.assert_array_equal(got.points, mesh.points)
+        np.testing.assert_array_equal(got.triangles, mesh.triangles)
+        np.testing.assert_array_equal(cell_data["area"], area)
+        np.testing.assert_array_equal(point_data["cp"], cp)
+
+    def test_vtk_round_trip_no_data(self, tmp_path, mesh):
+        from repro.io.meshio import read_vtk, write_vtk
+
+        p = write_vtk(tmp_path / "m.vtk", mesh)
+        got, cell_data, point_data = read_vtk(p)
+        np.testing.assert_array_equal(got.triangles, mesh.triangles)
+        assert cell_data == {} and point_data == {}
+
+    def test_read_vtk_malformed(self, tmp_path):
+        from repro.io.meshio import read_vtk
+
+        p = tmp_path / "bad.vtk"
+        p.write_text("not a vtk file\n")
+        with pytest.raises(ValueError, match="magic"):
+            read_vtk(p)
+        p.write_text("# vtk DataFile Version 3.0\nt\nBINARY\n"
+                     "DATASET UNSTRUCTURED_GRID\n")
+        with pytest.raises(ValueError, match="ASCII"):
+            read_vtk(p)
+        p.write_text("# vtk DataFile Version 3.0\nt\nASCII\n"
+                     "DATASET POLYDATA\n")
+        with pytest.raises(ValueError, match="UNSTRUCTURED_GRID"):
+            read_vtk(p)
+        p.write_text("# vtk DataFile Version 3.0\nt\nASCII\n"
+                     "DATASET UNSTRUCTURED_GRID\nPOINTS 2 double\n"
+                     "0.0 0.0 0.0\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_vtk(p)
+        p.write_text("# vtk DataFile Version 3.0\nt\nASCII\n"
+                     "DATASET UNSTRUCTURED_GRID\nPOINTS 3 double\n"
+                     "0 0 0\n1 0 0\n0 1 0\n"
+                     "CELLS 1 5\n4 0 1 2 2\n")
+        with pytest.raises(ValueError, match="triangles"):
+            read_vtk(p)
 
 
 class TestCLIExtensions:

@@ -197,6 +197,45 @@ class TestR6Lockset:
         assert "R6" not in rules_hit(findings)
 
 
+class TestR7BufferCopy:
+    def test_loop_over_buffer_in_to_mesh_flagged(self, tmp_path):
+        bad = """
+            def to_mesh(self):
+                out = []
+                for t in self.tri_v:
+                    out.append(tuple(t))
+                return out
+        """
+        findings = lint_snippet(tmp_path, "repro/delaunay/bad.py", bad)
+        assert "R7" in rules_hit(findings)
+
+    def test_comprehension_in_pack_flagged(self, tmp_path):
+        bad = """
+            def pack_mesh(mesh):
+                return {"points": [tuple(p) for p in mesh.points]}
+        """
+        findings = lint_snippet(tmp_path, "repro/runtime/bad.py", bad)
+        assert "R7" in rules_hit(findings)
+
+    def test_non_buffer_loop_allowed(self, tmp_path):
+        ok = """
+            def to_mesh(self):
+                segs = [(u, v) for u, v in self.constraints]
+                return segs
+        """
+        findings = lint_snippet(tmp_path, "repro/delaunay/ok.py", ok)
+        assert "R7" not in rules_hit(findings)
+
+    def test_buffer_loop_outside_scope_allowed(self, tmp_path):
+        ok = """
+            def render(mesh):
+                for p in mesh.points:
+                    print(p)
+        """
+        findings = lint_snippet(tmp_path, "repro/io/ok.py", ok)
+        assert "R7" not in rules_hit(findings)
+
+
 class TestPragmas:
     def test_justified_pragma_suppresses(self, tmp_path):
         src = """

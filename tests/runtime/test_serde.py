@@ -98,6 +98,61 @@ class TestMeshRoundTrip:
         back = serde.unpack_mesh(serde.pack_mesh(mesh))
         assert back.segments.shape == (0, 2)
 
+    def test_pack_is_zero_copy(self):
+        """pack/unpack must not copy the mesh arrays (buffer identity)."""
+        mesh = TriMesh(np.asarray([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]]),
+                       np.asarray([[0, 1, 2]], dtype=np.int32))
+        buffers = serde.pack_mesh(mesh)
+        assert buffers["points"] is mesh.points
+        tr = buffers["triangles"]
+        assert tr is mesh.triangles or tr.base is mesh.triangles
+        back = serde.unpack_mesh(buffers)
+        assert back.points is buffers["points"]
+
+
+class TestSharedMemoryTransport:
+    def test_round_trip_exact_and_zero_copy(self):
+        rng = np.random.default_rng(7)
+        buffers = {
+            "points": rng.random((5000, 2)),
+            "triangles": rng.integers(0, 5000, (9000, 3)).astype(np.int32),
+            "segments": np.empty((0, 2), dtype=np.int32),
+        }
+        name, meta = serde.buffers_to_shm(buffers)
+        out = serde.buffers_from_shm(name, meta)
+        assert set(out) == set(buffers)
+        for k in buffers:
+            assert np.array_equal(out[k], buffers[k])
+            assert out[k].dtype == buffers[k].dtype
+            assert not out[k].flags.writeable
+        # All views share one mapping: zero-copy attach.
+        assert out["points"].base is not None
+
+    def test_segment_freed_after_views_die(self):
+        import gc
+        import os
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        name, meta = serde.buffers_to_shm(
+            {"x": np.zeros((4096, 2), dtype=np.float64)})
+        out = serde.buffers_from_shm(name, meta)
+        # Attach unlinks the name immediately; the data stays readable
+        # through the existing mapping.
+        assert not os.path.exists(os.path.join("/dev/shm", name.lstrip("/")))
+        assert float(out["x"].sum()) == 0.0
+        del out
+        gc.collect()
+
+    def test_bytes_shm_counter(self):
+        from repro.runtime.counters import use_counters
+
+        with use_counters() as sink:
+            name, meta = serde.buffers_to_shm(
+                {"x": np.zeros(1024, dtype=np.float64)})
+        serde.buffers_from_shm(name, meta)
+        assert sink.events.get("serde.bytes_shm", 0) >= 8192
+
 
 class TestPSLGRoundTrip:
     @pytest.mark.parametrize("pslg", [
