@@ -81,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=None,
                    help="worker count for the parallel backends "
                    "(default 4); rejected with --backend local/serial")
+    p.add_argument("--no-stream", action="store_true",
+                   help="disable streamed decompose->refine dispatch "
+                   "(equivalent to REPRO_STREAM=0): decouple fully, then "
+                   "refine; the mesh is byte-identical either way")
+    p.add_argument("--no-warm-pool", action="store_true",
+                   help="disable the persistent worker pool of the "
+                   "processes backend (equivalent to REPRO_POOL=0): fork "
+                   "workers per dispatch instead of reusing them")
+    p.add_argument("--pool-ttl", type=float, metavar="SECONDS", default=None,
+                   help="idle worker time-to-live for the persistent pool "
+                   f"(default {executor.DEFAULT_POOL_TTL:.0f}s; equivalent "
+                   "to REPRO_POOL_TTL)")
     p.add_argument("-o", "--output", required=True,
                    help="output base path (no extension)")
     p.add_argument("--format", choices=["ascii", "npz", "vtk", "both"],
@@ -153,6 +165,16 @@ def main(argv=None) -> int:
             f"--sanitize instruments shared-memory backends only; "
             f"--backend {backend} shares no mutable state to instrument "
             "(use --backend threads to race-check the runtime)")
+    canonical = executor.canonical_backend_name(backend)
+    if (args.no_warm_pool or args.pool_ttl is not None) \
+            and canonical != "processes":
+        parser.error(
+            "--no-warm-pool/--pool-ttl configure the processes backend's "
+            f"persistent worker pool; --backend {backend} has no pool")
+    if args.no_warm_pool:
+        os.environ[executor.POOL_ENV] = "0"
+    if args.pool_ttl is not None:
+        os.environ[executor.POOL_TTL_ENV] = repr(float(args.pool_ttl))
     n_ranks = args.ranks if args.ranks is not None else 4
     pslg = _load_geometry(args)
     config = MeshConfig(
@@ -177,11 +199,13 @@ def main(argv=None) -> int:
             # backend's separate address spaces) merge into this sink.
             with use_counters() as profile_sink:
                 result = generate_mesh(pslg, config, backend=backend,
-                                       n_ranks=n_ranks)
+                                       n_ranks=n_ranks,
+                                       stream=not args.no_stream)
         else:
             profile_sink = None
             result = generate_mesh(pslg, config, backend=backend,
-                                   n_ranks=n_ranks)
+                                   n_ranks=n_ranks,
+                                   stream=not args.no_stream)
     elapsed = tm.elapsed
 
     out = Path(args.output)
@@ -205,8 +229,10 @@ def main(argv=None) -> int:
         print(mesh_report(result.mesh, surface=surface))
 
     summary = {
-        "backend": executor.canonical_backend_name(backend),
+        "backend": canonical,
         "n_ranks": n_ranks,
+        "stream": not args.no_stream,
+        "warm_pool": bool(getattr(backend_impl, "pool_enabled", False)),
         "elapsed_s": round(elapsed, 3),
         "n_points": result.mesh.n_points,
         "n_triangles": result.mesh.n_triangles,

@@ -24,6 +24,7 @@ from ..geometry.aabb import segment_extent_box
 from ..geometry.predicates import orient2d
 from ..geometry.primitives import segments_intersect
 from ..geometry.pslg import PSLG
+from ..runtime.counters import phase
 from ..sizing.functions import SizingFunction
 from ..sizing.growth import GeometricGrowth, GrowthFunction
 from ..spatial.adt import ADT
@@ -232,42 +233,47 @@ def generate_boundary_layer(
     growth = config.growth_function()
     default_height = min(growth.height(config.max_layers), config.max_height)
 
+    # Sub-phases feed --profile and the simulator's serial-setup
+    # breakdown (the BL stage is the paper's dominant sequential cost).
     element_rays: List[List[Ray]] = []
-    for el, loop in enumerate(pslg.body_loops):
-        sv = loop_surface_vertices(
-            pslg, loop,
-            large_angle=math.radians(config.large_angle_deg),
-            cusp_angle=math.radians(config.cusp_angle_deg),
-        )
-        rays = refine_rays(
-            sv, element=el,
-            max_ray_angle=math.radians(config.max_ray_angle_deg),
-        )
-        element_rays.append(rays)
+    with phase("bl.rays"):
+        for el, loop in enumerate(pslg.body_loops):
+            sv = loop_surface_vertices(
+                pslg, loop,
+                large_angle=math.radians(config.large_angle_deg),
+                cusp_angle=math.radians(config.cusp_angle_deg),
+            )
+            rays = refine_rays(
+                sv, element=el,
+                max_ray_angle=math.radians(config.max_ray_angle_deg),
+            )
+            element_rays.append(rays)
 
-    n_self = 0
-    for rays in element_rays:
-        n_self += resolve_self_intersections(
-            rays, default_height,
-            truncation_factor=config.truncation_factor,
-        )
-    n_multi = 0
-    if len(element_rays) > 1:
-        n_multi = resolve_multi_element_intersections(
-            element_rays, default_height,
-            truncation_factor=config.truncation_factor,
-        )
+    with phase("bl.intersections"):
+        n_self = 0
+        for rays in element_rays:
+            n_self += resolve_self_intersections(
+                rays, default_height,
+                truncation_factor=config.truncation_factor,
+            )
+        n_multi = 0
+        if len(element_rays) > 1:
+            n_multi = resolve_multi_element_intersections(
+                element_rays, default_height,
+                truncation_factor=config.truncation_factor,
+            )
 
-    n_points = 0
-    for rays in element_rays:
-        n_points += insert_points(
-            rays, growth,
-            sizing=sizing,
-            isotropy_factor=config.isotropy_factor,
-            max_layers=config.max_layers,
-            max_height=config.max_height,
-        )
-    n_shrunk = _simplify_borders(element_rays)
+    with phase("bl.insert_points"):
+        n_points = 0
+        for rays in element_rays:
+            n_points += insert_points(
+                rays, growth,
+                sizing=sizing,
+                isotropy_factor=config.isotropy_factor,
+                max_layers=config.max_layers,
+                max_height=config.max_height,
+            )
+        n_shrunk = _simplify_borders(element_rays)
 
     # ------------------------------------------------------------------
     # Assemble the PSLG of the boundary-layer annuli and triangulate.
@@ -306,20 +312,21 @@ def generate_boundary_layer(
             for h in r.heights:
                 vid(r.point_at(h))
 
-    if config.triangulation == "structured":
-        from .structured_bl import triangulate_structured
+    with phase("bl.triangulate"):
+        if config.triangulation == "structured":
+            from .structured_bl import triangulate_structured
 
-        mesh, struct_stats = triangulate_structured(element_rays)
-    elif config.triangulation == "delaunay":
-        tri = triangulate_pslg(
-            np.asarray(pts, dtype=np.float64),
-            np.asarray(segments, dtype=np.int64),
-        )
-        mask = carve(tri, holes)
-        mesh = tri.to_mesh(keep_mask=mask)
-    else:
-        raise ValueError(
-            f"unknown BL triangulation mode: {config.triangulation!r}")
+            mesh, struct_stats = triangulate_structured(element_rays)
+        elif config.triangulation == "delaunay":
+            tri = triangulate_pslg(
+                np.asarray(pts, dtype=np.float64),
+                np.asarray(segments, dtype=np.int64),
+            )
+            mask = carve(tri, holes)
+            mesh = tri.to_mesh(keep_mask=mask)
+        else:
+            raise ValueError(
+                f"unknown BL triangulation mode: {config.triangulation!r}")
 
     return BoundaryLayerResult(
         element_rays=element_rays,

@@ -46,6 +46,7 @@ __all__ = [
     "ring_from_parts",
     "initial_quadrants",
     "decouple",
+    "decouple_stream",
     "refine_subdomain",
     "estimate_triangles",
 ]
@@ -303,6 +304,57 @@ def plus_split(sub: DecoupledSubdomain, sizing: SizingFunction,
     return children
 
 
+def decouple_stream(
+    subdomains: Sequence[DecoupledSubdomain],
+    sizing: SizingFunction,
+    *,
+    target_count: int,
+    min_ring: int = 8,
+    step_factor: float = 1.8,
+):
+    """Generator form of :func:`decouple` for streamed dispatch.
+
+    Yields each subdomain the moment it can no longer change — a
+    subdomain too coarse to split (or holding hole rings) is final as
+    soon as the splitter pops it, so a streaming executor can start
+    refining it while the remaining splits are still running.  The
+    overall yield order is *exactly* the list :func:`decouple` returns
+    (finalised subdomains in pop order, then the heap's residual array
+    order), which keeps streamed and barriered merges byte-identical.
+    """
+    import heapq
+
+    if target_count < len(subdomains):
+        yield from subdomains
+        return
+    heap = []
+    counter = 0
+    for s in subdomains:
+        if exact_eq(s.est_triangles, 0.0):
+            s.est_triangles = estimate_triangles(s, sizing)
+        heapq.heappush(heap, (-s.est_triangles, counter, s))
+        counter += 1
+    n_done = 0
+    while heap and len(heap) + n_done < target_count:
+        _, _, sub = heapq.heappop(heap)
+        if len(sub.ring) < min_ring or sub.hole_rings:
+            n_done += 1
+            yield sub
+            continue
+        try:
+            kids = plus_split(sub, sizing, step_factor=step_factor)
+        except ValueError:
+            n_done += 1
+            yield sub
+            continue
+        for k in kids:
+            k.est_triangles = estimate_triangles(k, sizing)
+            heapq.heappush(heap, (-k.est_triangles, counter, k))
+            counter += 1
+    for _, _, s in heap:
+        yield s
+
+
 def decouple(
     subdomains: Sequence[DecoupledSubdomain],
     sizing: SizingFunction,
@@ -318,33 +370,10 @@ def decouple(
     the same number of triangles").  Subdomains whose ring is too coarse
     to split are left alone.
     """
-    import heapq
-
-    if target_count < len(subdomains):
-        return list(subdomains)
-    heap = []
-    counter = 0
-    for s in subdomains:
-        if exact_eq(s.est_triangles, 0.0):
-            s.est_triangles = estimate_triangles(s, sizing)
-        heapq.heappush(heap, (-s.est_triangles, counter, s))
-        counter += 1
-    done: List[DecoupledSubdomain] = []
-    while heap and len(heap) + len(done) < target_count:
-        _, _, sub = heapq.heappop(heap)
-        if len(sub.ring) < min_ring or sub.hole_rings:
-            done.append(sub)
-            continue
-        try:
-            kids = plus_split(sub, sizing, step_factor=step_factor)
-        except ValueError:
-            done.append(sub)
-            continue
-        for k in kids:
-            k.est_triangles = estimate_triangles(k, sizing)
-            heapq.heappush(heap, (-k.est_triangles, counter, k))
-            counter += 1
-    return done + [s for _, _, s in heap]
+    return list(decouple_stream(subdomains, sizing,
+                                target_count=target_count,
+                                min_ring=min_ring,
+                                step_factor=step_factor))
 
 
 def refine_subdomain(

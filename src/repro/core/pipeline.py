@@ -23,6 +23,7 @@ output without any human intervention."
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -44,7 +45,7 @@ from .bl_pipeline import (
 )
 from .decouple import (
     DecoupledSubdomain,
-    decouple,
+    decouple_stream,
     estimate_triangles,
     initial_quadrants,
     march_path,
@@ -52,7 +53,17 @@ from .decouple import (
     ring_from_parts,
 )
 
-__all__ = ["MeshConfig", "MeshResult", "generate_mesh"]
+__all__ = ["MeshConfig", "MeshResult", "generate_mesh", "STREAM_ENV"]
+
+#: ``REPRO_STREAM=0`` disables streamed decompose->refine dispatch and
+#: restores the barriered two-stage flow (decouple fully, then refine).
+STREAM_ENV = "REPRO_STREAM"
+
+
+def _stream_enabled(stream: Optional[bool]) -> bool:
+    if stream is not None:
+        return bool(stream)
+    return os.environ.get(STREAM_ENV, "1") != "0"
 
 
 @dataclass
@@ -100,6 +111,7 @@ def generate_mesh(
     *,
     backend: Optional[str] = None,
     n_ranks: int = 4,
+    stream: Optional[bool] = None,
 ) -> MeshResult:
     """Generate the full hybrid mesh for ``pslg`` (all body loops).
 
@@ -108,6 +120,14 @@ def generate_mesh(
     back to the ``REPRO_BACKEND`` environment variable, then ``local``.
     Every backend produces the identical mesh — the subdomains are
     decoupled, so execution order cannot change the result.
+
+    ``stream`` (default on; ``REPRO_STREAM=0`` disables) feeds work to
+    the executor as it is discovered: the near-body subdomain is
+    submitted before decoupling starts and each decoupled subdomain the
+    moment it is final, so pool workers refine while the parent is
+    still splitting — the paper's overlap of decomposition with
+    refinement.  Submission order equals the barriered payload order,
+    so the merged mesh is byte-identical either way.
     """
     config = config or MeshConfig()
     backend_impl = executor.get_backend(
@@ -164,32 +184,54 @@ def generate_mesh(
     half = config.farfield_chords * chord
     ff_box = AABB(cx - half, cy - half, cx + half, cy + half)
     quads = initial_quadrants(nb_box, ff_box, sizing)
-    with timed("decoupling") as tm:
-        subdomains = decouple(quads, sizing,
-                              target_count=max(config.target_subdomains - 1, 4))
-    timings["decoupling"] = tm.elapsed
+    target = max(config.target_subdomains - 1, 4)
 
     # ------------------------------------------------------------------
-    # 5. Refine everything (near-body + inviscid subdomains) through the
-    #    executor layer: each work item is one serde-packed subdomain,
-    #    each result one packed mesh, ordered like the inputs.
+    # 4+5. Decouple the far field and refine everything (near-body +
+    #    inviscid subdomains) through the executor layer: each work item
+    #    is one serde-packed subdomain, each result one packed mesh,
+    #    ordered like the inputs.  Streamed dispatch (default) submits
+    #    the near-body subdomain before decoupling starts and every
+    #    decoupled subdomain as it is produced; barriered dispatch
+    #    (``REPRO_STREAM=0``) decouples fully, then maps.  Submission
+    #    order is identical, so the merge below cannot tell them apart.
     # ------------------------------------------------------------------
-    work = [nearbody] + list(subdomains)
-    with timed("refinement") as tm:
-        payloads = [
-            _pack_refine_item(s, sizing, config.quality_bound,
-                              config.max_steiner)
-            for s in work
-        ]
-        costs = [
-            s.est_triangles if s.est_triangles > 0.0
-            else max(estimate_triangles(s, sizing), 1.0)
-            for s in work
-        ]
-        packed = backend_impl.map_workitems(_refine_workitem, payloads,
-                                            costs=costs, n_ranks=n_ranks)
-        meshes = [serde.unpack_mesh(b) for b in packed]
-    timings["refinement"] = tm.elapsed
+    def _cost(s: DecoupledSubdomain) -> float:
+        return (s.est_triangles if s.est_triangles > 0.0
+                else max(estimate_triangles(s, sizing), 1.0))
+
+    def _payload(s: DecoupledSubdomain) -> serde.Buffers:
+        return _pack_refine_item(s, sizing, config.quality_bound,
+                                 config.max_steiner)
+
+    if _stream_enabled(stream):
+        # Note: under streaming, ``refinement`` wall time spans the
+        # whole overlapped region (it contains ``decoupling``).
+        with timed("refinement") as tm_refine:
+            session = backend_impl.stream_workitems(_refine_workitem,
+                                                    n_ranks=n_ranks)
+            session.submit(_payload(nearbody), cost=_cost(nearbody))
+            subdomains: List[DecoupledSubdomain] = []
+            with timed("decoupling") as tm_decouple:
+                for s in decouple_stream(quads, sizing, target_count=target):
+                    subdomains.append(s)
+                    session.submit(_payload(s), cost=_cost(s))
+            packed = session.results()
+            meshes = [serde.unpack_mesh(b) for b in packed]
+        work = [nearbody] + subdomains
+    else:
+        with timed("decoupling") as tm_decouple:
+            subdomains = list(decouple_stream(quads, sizing,
+                                              target_count=target))
+        work = [nearbody] + subdomains
+        with timed("refinement") as tm_refine:
+            payloads = [_payload(s) for s in work]
+            costs = [_cost(s) for s in work]
+            packed = backend_impl.map_workitems(_refine_workitem, payloads,
+                                                costs=costs, n_ranks=n_ranks)
+            meshes = [serde.unpack_mesh(b) for b in packed]
+    timings["decoupling"] = tm_decouple.elapsed
+    timings["refinement"] = tm_refine.elapsed
 
     # ------------------------------------------------------------------
     # 6. Merge.

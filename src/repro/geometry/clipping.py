@@ -69,17 +69,22 @@ def segment_intersects_box(a, b, box: AABB) -> bool:
         # Both endpoints outside, in different regions: clip the endpoint
         # with the larger code against the corresponding box edge.
         code_out = max(code0, code1)
+        # Divide before multiplying: the parameter (edge - c0) / (c1 - c0)
+        # is well-scaled even for subnormal coordinates, whereas the
+        # product-first form underflows to +-0.0 for segments grazing a
+        # corner within ~1e-160 and silently lands the clipped point on
+        # the wrong side of the box edge.
         if code_out & TOP:
-            x = x0 + (x1 - x0) * (box.ymax - y0) / (y1 - y0)
+            x = x0 + (x1 - x0) * ((box.ymax - y0) / (y1 - y0))
             y = box.ymax
         elif code_out & BOTTOM:
-            x = x0 + (x1 - x0) * (box.ymin - y0) / (y1 - y0)
+            x = x0 + (x1 - x0) * ((box.ymin - y0) / (y1 - y0))
             y = box.ymin
         elif code_out & RIGHT:
-            y = y0 + (y1 - y0) * (box.xmax - x0) / (x1 - x0)
+            y = y0 + (y1 - y0) * ((box.xmax - x0) / (x1 - x0))
             x = box.xmax
         else:  # LEFT
-            y = y0 + (y1 - y0) * (box.xmin - x0) / (x1 - x0)
+            y = y0 + (y1 - y0) * ((box.xmin - x0) / (x1 - x0))
             x = box.xmin
 
         if code_out == code0:
@@ -104,18 +109,24 @@ def clip_segment(
             return ((x0, y0), (x1, y1))
         if code0 & code1:
             return None
-        code_out = code0 if code0 != INSIDE else code1
+        # Same selection rule as segment_intersects_box (INSIDE == 0, so max
+        # always names an outside endpoint): for corner-grazing segments
+        # within rounding distance the accept/reject answer depends on which
+        # endpoint is clipped first, so both functions must clip in the same
+        # order to stay bit-for-bit consistent.
+        code_out = max(code0, code1)
+        # Divide-first for subnormal robustness (see segment_intersects_box).
         if code_out & TOP:
-            x = x0 + (x1 - x0) * (box.ymax - y0) / (y1 - y0)
+            x = x0 + (x1 - x0) * ((box.ymax - y0) / (y1 - y0))
             y = box.ymax
         elif code_out & BOTTOM:
-            x = x0 + (x1 - x0) * (box.ymin - y0) / (y1 - y0)
+            x = x0 + (x1 - x0) * ((box.ymin - y0) / (y1 - y0))
             y = box.ymin
         elif code_out & RIGHT:
-            y = y0 + (y1 - y0) * (box.xmax - x0) / (x1 - x0)
+            y = y0 + (y1 - y0) * ((box.xmax - x0) / (x1 - x0))
             x = box.xmax
         else:
-            y = y0 + (y1 - y0) * (box.xmin - x0) / (x1 - x0)
+            y = y0 + (y1 - y0) * ((box.xmin - x0) / (x1 - x0))
             x = box.xmin
 
         if code_out == code0:

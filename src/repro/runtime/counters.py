@@ -40,7 +40,20 @@ __all__ = [
     "use_counters",
     "phase",
     "timed",
+    "monotonic",
 ]
+
+
+def monotonic() -> float:
+    """The sanctioned monotonic-clock read point (lint rule R5).
+
+    Scheduling code that needs *deadline* arithmetic — worker-pool TTL
+    reaping, hang detection — reads the clock here instead of importing
+    ``time`` directly, so every wall-clock access in the package stays
+    in this module.  Profiling still goes through :func:`timed`/
+    :func:`phase`; this helper is for liveness decisions only.
+    """
+    return time.monotonic()
 
 
 class Histogram:
@@ -261,6 +274,10 @@ class Counters:
         self.phase_calls: Dict[str, int] = {}
         self.kernel = KernelCounters()
         self.events: Dict[str, int] = {}
+        #: raw per-observation sample streams (seconds, bytes, ...) —
+        #: the measurement source for simulator calibration
+        #: (:func:`repro.runtime.simulator.calibrate_from_counters`).
+        self.samples: Dict[str, List[float]] = {}
 
     # ------------------------------------------------------------------
     def note_phase(self, name: str, dt: float) -> None:
@@ -297,6 +314,17 @@ class Counters:
         with self._lock:
             self.events[name] = self.events.get(name, 0) + n
 
+    def observe(self, name: str, value: float) -> None:
+        """Append one raw observation to the ``name`` sample stream.
+
+        Unlike :meth:`incr` (a running total) the individual values are
+        kept: the executor records per-item (seconds, bytes) pairs and
+        the serde layer records shm transfer timings, which the
+        simulator fits its network/cost models against.
+        """
+        with self._lock:
+            self.samples.setdefault(name, []).append(float(value))
+
     # ------------------------------------------------------------------
     # Cross-process aggregation: a worker process profiles into its own
     # sink, ships ``snapshot()`` (plain data) back over the result
@@ -312,6 +340,7 @@ class Counters:
                 "phase_calls": dict(self.phase_calls),
                 "kernel": self.kernel.to_plain(),
                 "events": dict(self.events),
+                "samples": {k: list(v) for k, v in self.samples.items()},
             }
 
     def merge_snapshot(self, data: Dict[str, object]) -> None:
@@ -324,6 +353,9 @@ class Counters:
             self.kernel.merge_plain(data.get("kernel", {}))
             for name, n in data.get("events", {}).items():
                 self.events[name] = self.events.get(name, 0) + int(n)
+            for name, values in data.get("samples", {}).items():
+                self.samples.setdefault(name, []).extend(
+                    float(v) for v in values)
 
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
@@ -331,6 +363,15 @@ class Counters:
             "phases_s": dict(self.phases),
             "kernel": self.kernel.as_dict(),
             "events": dict(self.events),
+            # Samples summarised (raw streams stay on ``self.samples``).
+            "samples": {
+                name: {
+                    "n": len(vals),
+                    "total": sum(vals),
+                    "mean": sum(vals) / len(vals) if vals else 0.0,
+                }
+                for name, vals in self.samples.items()
+            },
         }
 
     def report(self) -> str:

@@ -17,19 +17,32 @@ the seam that decides *what a worker is*:
     not the hardware.
 
 ``processes``
-    True ``multiprocessing`` workers: largest-first static distribution
-    (LPT) over N processes plus steal-on-idle through a shared
-    :class:`LoadBoard`.  Payloads and results cross the process boundary
-    only as flat numpy buffer dicts (:mod:`repro.runtime.serde`), never
-    as pickled Python object graphs; results of ≥ 64 KiB travel through
-    refcounted ``multiprocessing.shared_memory`` segments (the parent
-    maps them zero-copy and unlinks when the last view dies); per-worker
-    profiling counters are snapshotted and merged back into the parent's
-    ambient sink.
+    True ``multiprocessing`` workers.  Two dispatch modes:
+
+    * **warm pool** (default): a :class:`WorkerPool` of persistent
+      workers forked once and reused across ``map_workitems`` calls;
+      demand-driven largest-first dispatch with at most one in-flight
+      item per worker, so a crashed worker maps to exactly one
+      requeueable item (respawn + requeue, bounded attempts); idle
+      workers are reaped after a TTL.  Disable with ``REPRO_POOL=0``.
+    * **fork-per-call** (legacy): largest-first static distribution
+      (LPT) plus steal-on-idle through a shared :class:`LoadBoard`,
+      workers forked and torn down every call.
+
+    Payloads and results cross the process boundary only as flat numpy
+    buffer dicts (:mod:`repro.runtime.serde`), never as pickled Python
+    object graphs; dicts of ≥ 64 KiB travel through refcounted
+    ``multiprocessing.shared_memory`` segments in *both* directions
+    (the receiver maps them zero-copy and unlinks on attach); per-item
+    profiling counters are snapshotted and merged back into the
+    parent's ambient sink.
 
 Every backend implements the :class:`Backend` protocol —
 ``map_workitems(fn, payloads, costs, n_ranks) -> results`` (in payload
-order) — and registers itself in a name registry the CLI derives its
+order) and ``stream_workitems(fn, n_ranks) -> session`` (submit items
+one at a time as a producer discovers them; the warm pool starts
+refining the first subdomain while decomposition is still splitting the
+rest) — and registers itself in a name registry the CLI derives its
 ``--backend`` choices from.
 
 The runtime race sanitizer (:mod:`repro.lint.tsan`) instruments *shared
@@ -40,23 +53,30 @@ error instead of silently reporting a clean-but-vacuous run.
 
 from __future__ import annotations
 
+import atexit
+import bisect
 import os
+import queue as queue_mod
 import traceback
+import weakref
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
 
 from ..lint import tsan
 from . import counters as counters_mod
 from . import serde
-from .counters import phase
+from .counters import monotonic, phase
 from .serde import is_buffers
 
 __all__ = [
     "Backend",
+    "StreamSession",
     "ExecutorError",
     "LoadBoard",
     "SerialBackend",
     "ThreadsBackend",
     "ProcessesBackend",
+    "WorkerPool",
+    "PoolStream",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -68,9 +88,32 @@ __all__ = [
 #: (used by CI to drive the whole test pyramid through one backend).
 BACKEND_ENV = "REPRO_BACKEND"
 
+#: ``REPRO_POOL=0`` disables the persistent worker pool (fork-per-call).
+POOL_ENV = "REPRO_POOL"
+
+#: idle-worker time-to-live override, seconds (``REPRO_POOL_TTL``).
+POOL_TTL_ENV = "REPRO_POOL_TTL"
+
+#: default seconds an idle pool worker survives before being reaped.
+DEFAULT_POOL_TTL = 300.0
+
 
 class ExecutorError(RuntimeError):
     """A backend could not run the submitted work."""
+
+
+class StreamSession(Protocol):
+    """An open streaming dispatch: submit items as they are produced.
+
+    ``submit`` returns the item's index; ``results`` blocks until every
+    submitted item finished and returns the results in submission
+    order.  A session is single-use: ``results`` closes it.
+    """
+
+    def submit(self, payload: Any, *, cost: float = 1.0,
+               eager: bool = True) -> int: ...
+
+    def results(self) -> List[Any]: ...
 
 
 class Backend(Protocol):
@@ -80,6 +123,8 @@ class Backend(Protocol):
     and returns the results *in payload order* regardless of which
     worker processed what.  ``costs`` (optional, same length) drive
     largest-first scheduling and stealing on the parallel backends.
+    ``stream_workitems`` opens a :class:`StreamSession` for producers
+    that discover work incrementally.
     """
 
     #: registry name (canonical).
@@ -97,6 +142,13 @@ class Backend(Protocol):
         costs: Optional[Sequence[float]] = None,
         n_ranks: int = 1,
     ) -> List[Any]: ...
+
+    def stream_workitems(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        n_ranks: int = 1,
+    ) -> StreamSession: ...
 
 
 # ----------------------------------------------------------------------
@@ -165,15 +217,59 @@ def _check_portable_fn(fn: Callable) -> None:
         )
 
 
+def _check_buffer_payload(index: int, payload: Any) -> None:
+    if not is_buffers(payload):
+        raise ExecutorError(
+            f"payload {index} is {type(payload).__name__}, not a flat "
+            "dict[str, ndarray] buffer dict — pack it with "
+            "repro.runtime.serde before submitting to the processes "
+            "backend (no pickled object graphs on the hot path)"
+        )
+
+
 def _check_buffer_payloads(payloads: Sequence[Any]) -> None:
     for i, p in enumerate(payloads):
-        if not is_buffers(p):
-            raise ExecutorError(
-                f"payload {i} is {type(p).__name__}, not a flat "
-                "dict[str, ndarray] buffer dict — pack it with "
-                "repro.runtime.serde before submitting to the processes "
-                "backend (no pickled object graphs on the hot path)"
-            )
+        _check_buffer_payload(i, p)
+
+
+# ----------------------------------------------------------------------
+# Buffered streaming adapter (barrier backends)
+# ----------------------------------------------------------------------
+class _BufferedStream:
+    """Collect-then-run :class:`StreamSession` for barrier backends.
+
+    ``serial``/``threads`` (and the legacy fork-per-call processes mode)
+    have no pool to feed incrementally, so streamed submission simply
+    accumulates and ``results`` runs one ``map_workitems`` — trivially
+    byte-identical to the barriered path.
+    """
+
+    def __init__(self, backend: "Backend", fn: Callable,
+                 n_ranks: int) -> None:
+        self._backend = backend
+        self._fn = fn
+        self._n_ranks = n_ranks
+        self._payloads: List[Any] = []
+        self._costs: List[float] = []
+        self._closed = False
+
+    def submit(self, payload: Any, *, cost: float = 1.0,
+               eager: bool = True) -> int:
+        if self._closed:
+            raise ExecutorError("streaming session already closed")
+        self._payloads.append(payload)
+        self._costs.append(float(cost))
+        return len(self._payloads) - 1
+
+    def results(self) -> List[Any]:
+        if self._closed:
+            raise ExecutorError("streaming session already closed")
+        self._closed = True
+        if not self._payloads:
+            return []
+        return self._backend.map_workitems(
+            self._fn, self._payloads, costs=self._costs,
+            n_ranks=self._n_ranks)
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +285,9 @@ class SerialBackend:
     def map_workitems(self, fn, payloads, *, costs=None, n_ranks=1):
         with phase(f"executor.{self.name}"):
             return [fn(p) for p in payloads]
+
+    def stream_workitems(self, fn, *, n_ranks=1):
+        return _BufferedStream(self, fn, _check_ranks(n_ranks))
 
 
 # ----------------------------------------------------------------------
@@ -248,9 +347,12 @@ class ThreadsBackend:
             raise ExecutorError(f"work items {missing} were never processed")
         return out
 
+    def stream_workitems(self, fn, *, n_ranks=1):
+        return _BufferedStream(self, fn, _check_ranks(n_ranks))
+
 
 # ----------------------------------------------------------------------
-# processes
+# processes: legacy fork-per-call scheduling (LoadBoard + LPT)
 # ----------------------------------------------------------------------
 class LoadBoard:
     """Shared claim board: largest-first assignment + steal-on-idle.
@@ -286,7 +388,11 @@ class LoadBoard:
     def _take(self, item: int, worker: int) -> None:
         self._claims[item] = worker
         owner = self._owner_of[item]
-        self._loads[owner] -= self._costs[item]
+        # Clamp at zero: claim order differs from the summation order
+        # that built the load, so plain float subtraction can leave a
+        # -1e-16 residue on the last item; remaining load is a
+        # non-negative quantity by definition.
+        self._loads[owner] = max(self._loads[owner] - self._costs[item], 0.0)
 
     def claim(self, worker: int) -> Optional[tuple]:
         """Claim the next item for ``worker``: ``(item, stolen)`` or None.
@@ -343,7 +449,7 @@ def lpt_assignment(costs: Sequence[float], n_workers: int) -> List[List[int]]:
 
 def _process_worker(rank: int, fn, payloads, board: LoadBoard,
                     result_q, profile: bool) -> None:
-    """Worker-process main loop: claim, process, ship buffers back.
+    """Fork-per-call worker main loop: claim, process, ship buffers back.
 
     Results at or above :data:`repro.runtime.serde.SHM_MIN_BYTES` go
     through a ``multiprocessing.shared_memory`` segment (one C-speed
@@ -395,13 +501,507 @@ class _null_cm:
         return False
 
 
+# ----------------------------------------------------------------------
+# processes: persistent worker pool
+# ----------------------------------------------------------------------
+def _resolve_portable_fn(module: str, qualname: str) -> Callable:
+    """Re-import a module-level function in a pool worker.
+
+    ``_check_portable_fn`` guarantees the path resolves: no closures,
+    non-empty module.  Walking the qualname supports functions nested
+    inside classes (staticmethods).
+    """
+    import importlib
+
+    obj: Any = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _pool_worker_main(rank: int, inbox, result_q) -> None:
+    """Persistent pool worker: serve tasks until told to stop.
+
+    Protocol (pipe in, queue out)::
+
+        ("task", epoch, idx, fn_module, fn_qualname, wire, profile)
+        ("stop",)
+        -> ("ok", rank, epoch, idx, result_wire, snapshot, seconds, nbytes)
+        -> ("item_err", rank, epoch, idx, traceback_text)
+
+    One task is in flight per worker at any time, so the parent can map
+    a dead worker to exactly one requeueable item.  A work function
+    raising is an *item* error — reported and survived, the worker
+    keeps serving.  Both payloads and results travel as serde wire
+    envelopes (inline or shared-memory, by size).
+    """
+    fn_cache: Dict[tuple, Callable] = {}
+    while True:
+        try:
+            msg = inbox.recv()
+        except (EOFError, OSError):
+            break  # parent went away; nothing left to serve
+        if msg[0] == "stop":
+            break
+        _, epoch, idx, fn_mod, fn_qual, wire, profile = msg
+        t0 = monotonic()
+        try:
+            key = (fn_mod, fn_qual)
+            fn = fn_cache.get(key)
+            if fn is None:
+                fn = fn_cache[key] = _resolve_portable_fn(fn_mod, fn_qual)
+            payload = serde.wire_to_buffers(wire)
+            sink = counters_mod.Counters() if profile else None
+            with counters_mod.use_counters(sink) if profile else _null_cm():
+                with phase("executor.processes.item"):
+                    result = fn(payload)
+                if not is_buffers(result):
+                    raise ExecutorError(
+                        f"work function {fn_qual} returned "
+                        f"{type(result).__name__} for item {idx}; process "
+                        "workers must return flat serde buffer dicts"
+                    )
+                nbytes = (serde.buffers_nbytes(payload)
+                          + serde.buffers_nbytes(result))
+                out_wire = serde.buffers_to_wire(result)
+            snapshot = sink.snapshot() if sink is not None else None
+            result_q.put(("ok", rank, epoch, idx, out_wire, snapshot,
+                          monotonic() - t0, nbytes))
+        except BaseException:  # noqa: BLE001 - shipped to the parent
+            result_q.put(("item_err", rank, epoch, idx,
+                          traceback.format_exc()))
+
+
+class _PoolTask:
+    __slots__ = ("idx", "payload", "cost", "attempts", "wire")
+
+    def __init__(self, idx: int, payload: Any, cost: float) -> None:
+        self.idx = idx
+        self.payload = payload
+        self.cost = max(float(cost), 1e-9)
+        #: dispatch attempts so far (== worker deaths survived + 1
+        #: while in flight); bounded by :attr:`WorkerPool.max_attempts`.
+        self.attempts = 0
+        #: the wire envelope of the *current* dispatch, kept so an
+        #: undelivered shm payload can be freed if the worker dies.
+        self.wire = None
+
+
+class _PoolWorkerHandle:
+    __slots__ = ("rank", "proc", "conn", "task", "idle_since")
+
+    def __init__(self, rank, proc, conn) -> None:
+        self.rank = rank
+        self.proc = proc
+        self.conn = conn
+        #: the in-flight :class:`_PoolTask`, or None when idle.
+        self.task = None
+        self.idle_since = monotonic()
+
+
+class WorkerPool:
+    """Persistent process workers, forked once and reused across calls.
+
+    Lifecycle:
+
+    * **fork-once** — workers are spawned lazily, up to the rank count
+      of the calls that need them, and survive between calls (the fork
+      + interpreter warm-up is paid once, not per ``map_workitems``);
+    * **TTL reap** — a worker idle longer than ``ttl`` seconds is
+      stopped at the next call boundary (big runs keep their fleet,
+      an abandoned pool shrinks to nothing);
+    * **respawn + requeue** — each worker holds at most one in-flight
+      item, so a dead worker (killed, OOM) maps to exactly one item:
+      the parent forks a replacement and requeues the item, up to
+      :attr:`max_attempts` dispatches before giving up with an
+      :class:`ExecutorError` naming the item;
+    * **epoch fencing** — every dispatch carries the pool's call epoch;
+      results from an aborted call are recognised as stale and their
+      shm segments freed instead of corrupting the next call.
+
+    One pool serves one open :class:`PoolStream` at a time (the
+    single-parent dispatch model needs no cross-call interleaving).
+    """
+
+    #: max dispatches of one item before the pool gives up on it.
+    max_attempts = 3
+
+    def __init__(self, ctx, ttl: float = DEFAULT_POOL_TTL) -> None:
+        self._ctx = ctx
+        self.ttl = float(ttl)
+        self._result_q = ctx.Queue()
+        self._workers: Dict[int, _PoolWorkerHandle] = {}
+        self._next_rank = 0
+        self._epoch = 0
+        self._call: Optional["PoolStream"] = None
+        self.closed = False
+        self.stats = {"forks": 0, "respawns": 0, "reaped": 0, "calls": 0}
+
+    # -- worker lifecycle ----------------------------------------------
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    def _spawn(self) -> _PoolWorkerHandle:
+        recv, send = self._ctx.Pipe(duplex=False)
+        rank = self._next_rank
+        self._next_rank += 1
+        proc = self._ctx.Process(
+            target=_pool_worker_main, args=(rank, recv, self._result_q),
+            daemon=True, name=f"repro-pool-{rank}")
+        proc.start()
+        recv.close()  # the parent keeps only the send end
+        handle = _PoolWorkerHandle(rank, proc, send)
+        self._workers[rank] = handle
+        self.stats["forks"] += 1
+        return handle
+
+    def _retire(self, handle: _PoolWorkerHandle) -> None:
+        """Stop one worker (idle or already dead) and forget it."""
+        try:
+            handle.conn.send(("stop",))
+        except (OSError, BrokenPipeError, ValueError):
+            pass  # already dead or pipe torn down
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.proc.join(timeout=5.0)
+        if handle.proc.is_alive():
+            handle.proc.terminate()
+            handle.proc.join(timeout=5.0)
+        self._workers.pop(handle.rank, None)
+
+    def reap_idle(self) -> None:
+        """Retire workers idle longer than the TTL (call-boundary hook)."""
+        now = monotonic()
+        for rank in sorted(self._workers):
+            handle = self._workers[rank]
+            if handle.task is None and now - handle.idle_since > self.ttl:
+                self._retire(handle)
+                self.stats["reaped"] += 1
+
+    # -- stale-result hygiene ------------------------------------------
+    def _handle_stale(self, msg) -> None:
+        """Free a result from an aborted epoch (shm wire, idle marking)."""
+        if msg[0] == "ok":
+            serde.discard_wire(msg[4])
+
+    def drain_stale(self) -> None:
+        """Discard results of aborted calls still sitting in the queue."""
+        while True:
+            try:
+                msg = self._result_q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                return
+            self._handle_stale(msg)
+
+    def shutdown(self) -> None:
+        """Stop every worker and close the pool (idempotent)."""
+        if self.closed:
+            return
+        self.drain_stale()
+        for rank in sorted(list(self._workers)):
+            self._retire(self._workers[rank])
+        self.drain_stale()
+        self.closed = True
+        self._result_q.close()
+        self._result_q.join_thread()
+
+
+#: every live pool, for a best-effort clean stop at interpreter exit
+#: (daemon workers would die anyway; this lets them exit their loop).
+_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def _shutdown_all_pools() -> None:
+    for pool in list(_POOLS):
+        try:
+            pool.shutdown()
+        except Exception:
+            pass
+
+
+atexit.register(_shutdown_all_pools)
+
+
+class PoolStream:
+    """One open dispatch session against a :class:`WorkerPool`.
+
+    Implements :class:`StreamSession`: the pipeline submits subdomains
+    as ``decouple`` produces them and the pool starts refining
+    immediately; ``map_workitems`` is the same session driven with
+    ``eager=False`` (queue everything, then dispatch globally
+    largest-first — LPT-like).  Dispatch is demand-driven: pending
+    items are kept largest-cost-first and handed to whichever worker
+    frees up, which subsumes steal-on-idle without shared state.
+    """
+
+    def __init__(self, pool: WorkerPool, fn: Callable, n_ranks: int,
+                 sink, idle_timeout: float) -> None:
+        if pool.closed:
+            raise ExecutorError("worker pool is shut down")
+        if pool._call is not None:
+            raise ExecutorError(
+                "worker pool already has an open streaming session — "
+                "collect results() before starting another dispatch"
+            )
+        _check_portable_fn(fn)
+        pool._epoch += 1
+        pool._call = self
+        pool.stats["calls"] += 1
+        pool.drain_stale()
+        pool.reap_idle()
+        self._pool = pool
+        self._epoch = pool._epoch
+        self._fn_mod = fn.__module__
+        self._fn_qual = fn.__qualname__
+        self._n_ranks = _check_ranks(n_ranks)
+        self._sink = sink
+        self._idle_timeout = float(idle_timeout)
+        self._tasks: List[_PoolTask] = []
+        #: undispatched tasks as (-cost, idx, task), kept sorted so
+        #: index 0 is always the largest remaining item.
+        self._pending: List[tuple] = []
+        self._out: List[Any] = []
+        self._done = 0
+        self._error: Optional[BaseException] = None
+        self._closed = False
+
+    # -- public API ----------------------------------------------------
+    def submit(self, payload, *, cost: float = 1.0,
+               eager: bool = True) -> int:
+        """Queue one item; with ``eager`` dispatch it right away."""
+        self._check_open()
+        idx = len(self._tasks)
+        if not is_buffers(payload):
+            self._fail_validation(idx, payload)
+        task = _PoolTask(idx, payload, cost)
+        self._tasks.append(task)
+        self._out.append(None)
+        bisect.insort(self._pending, (-task.cost, task.idx, task))
+        if eager:
+            # Absorb any finished results (frees workers) then dispatch.
+            while self._pump(block=False):
+                pass
+            self._fill()
+        return idx
+
+    def results(self) -> List[Any]:
+        """Block until every submitted item finished; payload order."""
+        if self._error is not None:
+            raise self._error
+        self._check_open()
+        self._fill()
+        while self._done < len(self._tasks):
+            self._pump(block=True)
+        self._close()
+        if self._sink is not None:
+            # The pool's demand-driven dispatch has no distinct steal
+            # transition; keep the key so reports stay comparable
+            # across scheduling modes.
+            self._sink.incr("executor.steals", 0)
+        return list(self._out)
+
+    # -- internals -----------------------------------------------------
+    def _check_open(self) -> None:
+        if self._error is not None:
+            raise self._error
+        if self._closed:
+            raise ExecutorError("streaming session already closed")
+
+    def _close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool._call = None
+
+    def _fail_validation(self, idx: int, payload) -> None:
+        try:
+            _check_buffer_payload(idx, payload)
+        except ExecutorError as err:
+            self._fail(err)
+
+    def _fail(self, err: BaseException) -> None:
+        """Abort the session: quiesce in-flight work, close, raise."""
+        self._error = err
+        self._quiesce()
+        self._close()
+        raise err
+
+    def _quiesce(self) -> None:
+        """Wait out in-flight items so the pool is reusable after abort.
+
+        Results arriving during the wait are discarded (their shm wires
+        freed).  Workers that refuse to finish within a bounded grace
+        period are terminated and dropped — their stale results, if
+        any, are drained by the next call.
+        """
+        pool = self._pool
+        deadline = monotonic() + 30.0
+        while any(h.task is not None for h in pool._workers.values()):
+            if monotonic() > deadline:
+                for rank in sorted(list(pool._workers)):
+                    handle = pool._workers[rank]
+                    if handle.task is not None:
+                        handle.proc.terminate()
+                        pool._retire(handle)
+                break
+            try:
+                msg = pool._result_q.get(timeout=0.5)
+            except queue_mod.Empty:
+                for rank in sorted(list(pool._workers)):
+                    handle = pool._workers.get(rank)
+                    if handle is not None and not handle.proc.is_alive():
+                        pool._workers.pop(rank, None)
+                continue
+            pool._handle_stale(msg)
+            handle = pool._workers.get(msg[1])
+            if handle is not None:
+                handle.task = None
+                handle.idle_since = monotonic()
+
+    def _idle_worker(self) -> Optional[_PoolWorkerHandle]:
+        """An idle live worker within this session's rank budget, or a
+        fresh one when the pool is below budget, else None."""
+        pool = self._pool
+        for rank in sorted(list(pool._workers)):
+            handle = pool._workers[rank]
+            if handle.task is None and not handle.proc.is_alive():
+                pool._retire(handle)  # died while idle: just clean up
+        live = [pool._workers[r] for r in sorted(pool._workers)]
+        for handle in live[: self._n_ranks]:
+            if handle.task is None:
+                return handle
+        if len(live) < self._n_ranks:
+            return pool._spawn()
+        return None
+
+    def _fill(self) -> None:
+        """Dispatch pending items (largest first) onto idle workers."""
+        while self._pending:
+            handle = self._idle_worker()
+            if handle is None:
+                return
+            _, _, task = self._pending.pop(0)
+            self._dispatch(handle, task)
+
+    def _dispatch(self, handle: _PoolWorkerHandle, task: _PoolTask) -> None:
+        task.wire = serde.buffers_to_wire(task.payload)
+        task.attempts += 1
+        try:
+            handle.conn.send(("task", self._epoch, task.idx, self._fn_mod,
+                              self._fn_qual, task.wire,
+                              self._sink is not None))
+        except (OSError, BrokenPipeError, ValueError):
+            # Worker vanished between liveness check and send; mark the
+            # task in flight anyway — the death sweep respawns a worker
+            # and requeues it.
+            pass
+        handle.task = task
+
+    def _pump(self, *, block: bool) -> bool:
+        """Absorb one result message; True if one was handled."""
+        pool = self._pool
+        if block:
+            idle = 0.0
+            while True:
+                try:
+                    msg = pool._result_q.get(timeout=0.5)
+                    break
+                except queue_mod.Empty:
+                    idle += 0.5
+                    self._sweep_deaths()
+                    if idle > self._idle_timeout:
+                        self._fail(ExecutorError(
+                            "processes pool made no progress for "
+                            f"{self._idle_timeout:.0f}s — aborting"))
+        else:
+            try:
+                msg = pool._result_q.get_nowait()
+            except queue_mod.Empty:
+                self._sweep_deaths()
+                return False
+        self._handle(msg)
+        return True
+
+    def _handle(self, msg) -> None:
+        pool = self._pool
+        kind = msg[0]
+        rank = msg[1]
+        epoch = msg[2]
+        if epoch != self._epoch:
+            pool._handle_stale(msg)
+            return
+        handle = pool._workers.get(rank)
+        if kind == "ok":
+            _, _, _, idx, wire, snapshot, elapsed, nbytes = msg
+            task = self._tasks[idx]
+            if handle is not None and handle.task is task:
+                handle.task = None
+                handle.idle_since = monotonic()
+            if self._out[idx] is not None:
+                # The worker finished, queued the result, and *then*
+                # died; the death sweep already requeued the item and a
+                # second result arrived.  Keep the first, free this one.
+                serde.discard_wire(wire)
+                return
+            self._out[idx] = serde.wire_to_buffers(wire)
+            self._done += 1
+            sink = self._sink
+            if sink is not None:
+                if snapshot is not None:
+                    sink.merge_snapshot(snapshot)
+                sink.incr(f"executor.items.rank{rank}")
+                sink.observe("executor.item_seconds", float(elapsed))
+                sink.observe("executor.item_bytes", float(nbytes))
+            self._fill()
+        elif kind == "item_err":
+            _, _, _, idx, tb = msg
+            if handle is not None and handle.task is self._tasks[idx]:
+                handle.task = None
+                handle.idle_since = monotonic()
+            if self._out[idx] is not None:
+                return  # duplicate after requeue; result already good
+            self._fail(ExecutorError(
+                f"work item {idx} failed in pool worker {rank}:\n{tb}"))
+        # Unknown kinds cannot occur: the worker protocol is closed.
+
+    def _sweep_deaths(self) -> None:
+        """Respawn dead workers; requeue their in-flight items."""
+        pool = self._pool
+        for rank in sorted(list(pool._workers)):
+            handle = pool._workers.get(rank)
+            if handle is None or handle.proc.is_alive():
+                continue
+            task = handle.task
+            exitcode = handle.proc.exitcode
+            pool._retire(handle)
+            if task is None:
+                continue
+            pool.stats["respawns"] += 1
+            if self._sink is not None:
+                self._sink.incr("executor.respawns")
+            # Free the payload envelope if the worker never attached it
+            # (no-op when it was consumed before the crash).
+            serde.discard_wire(task.wire)
+            task.wire = None
+            if task.attempts >= pool.max_attempts:
+                self._fail(ExecutorError(
+                    f"work item {task.idx} crashed its worker on all "
+                    f"{task.attempts} dispatch attempts (last exit code "
+                    f"{exitcode}) — giving up"))
+            bisect.insort(self._pending, (-task.cost, task.idx, task))
+        self._fill()
+
+
 class ProcessesBackend:
     """GIL-free workers over ``multiprocessing`` (fork when available).
 
-    Largest-first static distribution plus steal-on-idle via the shared
-    :class:`LoadBoard`; buffer-dict payloads/results only (large results
-    via refcounted shared-memory segments); per-worker counter snapshots
-    merged into the parent's ambient profiling sink.
+    Default dispatch is the persistent :class:`WorkerPool` (see the
+    module docstring); ``REPRO_POOL=0`` or ``persistent=False`` selects
+    the legacy fork-per-call LoadBoard path.  Buffer-dict payloads and
+    results only; large dicts travel via refcounted shared-memory
+    segments in both directions; per-item counter snapshots merge into
+    the parent's ambient profiling sink.
     """
 
     name = "processes"
@@ -411,8 +1011,13 @@ class ProcessesBackend:
     #: seconds without any worker progress before declaring a hang.
     idle_timeout = 600.0
 
-    def __init__(self, start_method: Optional[str] = None) -> None:
+    def __init__(self, start_method: Optional[str] = None,
+                 persistent: Optional[bool] = None,
+                 ttl: Optional[float] = None) -> None:
         self._start_method = start_method
+        self._persistent = persistent
+        self._ttl = ttl
+        self._pool: Optional[WorkerPool] = None
 
     def _context(self):
         import multiprocessing as mp
@@ -424,7 +1029,42 @@ class ProcessesBackend:
         methods = mp.get_all_start_methods()
         return mp.get_context("fork" if "fork" in methods else "spawn")
 
-    def map_workitems(self, fn, payloads, *, costs=None, n_ranks=1):
+    # -- pool plumbing -------------------------------------------------
+    @property
+    def pool_enabled(self) -> bool:
+        """Whether calls go through the persistent pool."""
+        if self._persistent is not None:
+            return bool(self._persistent)
+        return os.environ.get(POOL_ENV, "1") != "0"
+
+    def pool_ttl(self) -> float:
+        if self._ttl is not None:
+            return float(self._ttl)
+        raw = os.environ.get(POOL_TTL_ENV)
+        if raw:
+            try:
+                return float(raw)
+            except ValueError:
+                pass
+        return DEFAULT_POOL_TTL
+
+    def _get_pool(self) -> WorkerPool:
+        if self._pool is not None and self._pool.closed:
+            self._pool = None
+        if self._pool is None:
+            self._pool = WorkerPool(self._context(), ttl=self.pool_ttl())
+            _POOLS.add(self._pool)
+        else:
+            self._pool.ttl = self.pool_ttl()
+        return self._pool
+
+    def shutdown_pool(self) -> None:
+        """Stop the persistent workers now (the next call re-forks)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _check_sanitizer(self) -> None:
         if tsan.enabled():
             raise ExecutorError(
                 "the runtime race sanitizer instruments shared-memory "
@@ -432,6 +1072,10 @@ class ProcessesBackend:
                 "state to instrument — run --sanitize with "
                 "--backend threads (or serial) instead"
             )
+
+    # -- dispatch ------------------------------------------------------
+    def map_workitems(self, fn, payloads, *, costs=None, n_ranks=1):
+        self._check_sanitizer()
         n_ranks = _check_ranks(n_ranks)
         _check_portable_fn(fn)
         _check_buffer_payloads(payloads)
@@ -439,8 +1083,29 @@ class ProcessesBackend:
             return []
         if costs is None:
             costs = [1.0] * len(payloads)
-        n_workers = min(n_ranks, len(payloads))
+        if self.pool_enabled:
+            sink = counters_mod.current()
+            with phase(f"executor.{self.name}"):
+                stream = PoolStream(self._get_pool(), fn,
+                                    min(n_ranks, len(payloads)), sink,
+                                    self.idle_timeout)
+                for p, c in zip(payloads, costs):
+                    stream.submit(p, cost=c, eager=False)
+                return stream.results()
+        return self._map_forked(fn, payloads, costs, n_ranks)
 
+    def stream_workitems(self, fn, *, n_ranks=1):
+        self._check_sanitizer()
+        n_ranks = _check_ranks(n_ranks)
+        _check_portable_fn(fn)
+        if not self.pool_enabled:
+            return _BufferedStream(self, fn, n_ranks)
+        return PoolStream(self._get_pool(), fn, n_ranks,
+                          counters_mod.current(), self.idle_timeout)
+
+    # -- legacy fork-per-call path -------------------------------------
+    def _map_forked(self, fn, payloads, costs, n_ranks):
+        n_workers = min(n_ranks, len(payloads))
         ctx = self._context()
         board = LoadBoard(ctx, costs, lpt_assignment(costs, n_workers))
         result_q = ctx.Queue()
@@ -461,8 +1126,6 @@ class ProcessesBackend:
             for p in procs:
                 p.start()
             try:
-                import queue as queue_mod
-
                 idle = 0.0
                 while not (all(seen) and all(done)):
                     try:

@@ -31,7 +31,7 @@ objects share one payload; :func:`unnest` extracts them back.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +45,11 @@ __all__ = [
     "SHM_MIN_BYTES",
     "buffers_to_shm",
     "buffers_from_shm",
+    "Wire",
+    "buffers_to_wire",
+    "wire_to_buffers",
+    "wire_nbytes",
+    "discard_wire",
     "pack_mesh",
     "unpack_mesh",
     "pack_subdomain",
@@ -148,6 +153,9 @@ def buffers_to_shm(buffers: Buffers) -> Tuple[str, ShmMeta]:
         meta.append((key, a.dtype.str, a.shape, offset))
         arrays.append(a)
         offset += a.nbytes
+    from . import counters as counters_mod
+
+    t0 = counters_mod.monotonic()
     shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
     try:
         for (key, dtype, shape, off), a in zip(meta, arrays):
@@ -163,11 +171,13 @@ def buffers_to_shm(buffers: Buffers) -> Tuple[str, ShmMeta]:
             pass  # non-POSIX trackers: registration never happened
     finally:
         shm.close()
-    from . import counters as counters_mod
-
     sink = counters_mod.current()
     if sink is not None:
         sink.incr("serde.bytes_shm", offset)
+        # Paired (nbytes, seconds) observations: the simulator fits its
+        # alpha-beta NetworkModel against these streams.
+        sink.observe("serde.shm_nbytes", float(offset))
+        sink.observe("serde.shm_seconds", counters_mod.monotonic() - t0)
     return name, meta
 
 
@@ -219,6 +229,81 @@ def buffers_from_shm(name: str, meta: ShmMeta) -> Buffers:
         a.flags.writeable = False
         out[key] = a
     return out
+
+
+# ----------------------------------------------------------------------
+# Wire format: inline-or-shm transport envelope
+# ----------------------------------------------------------------------
+#: A picklable transport envelope for one buffer dict — either
+#: ``("inline", buffers)`` or ``("shm", name, meta)``.  Used for *both*
+#: directions of the worker-pool protocol: subdomain payloads going out
+#: and refined meshes coming back.
+Wire = Tuple
+
+
+def buffers_to_wire(buffers: Buffers, *,
+                    min_bytes: Optional[int] = None) -> Wire:
+    """Wrap a buffer dict for cross-process shipping.
+
+    Dicts at or above ``min_bytes`` (default :data:`SHM_MIN_BYTES`) go
+    through a shared-memory segment — only the name + layout tuple is
+    pickled; smaller dicts ship inline where the pickle is cheaper than
+    a segment round trip.  Falls back to inline when ``/dev/shm`` is
+    unusable (tiny containers) rather than fail.
+    """
+    threshold = SHM_MIN_BYTES if min_bytes is None else min_bytes
+    if buffers_nbytes(buffers) >= threshold:
+        try:
+            name, meta = buffers_to_shm(buffers)
+            return ("shm", name, meta)
+        except OSError:
+            pass
+    return ("inline", buffers)
+
+
+def wire_to_buffers(wire: Wire) -> Buffers:
+    """Unwrap a :func:`buffers_to_wire` envelope (consumes shm wires:
+    the segment is unlinked on attach and freed with the last view)."""
+    kind = wire[0]
+    if kind == "inline":
+        return wire[1]
+    if kind == "shm":
+        return buffers_from_shm(wire[1], wire[2])
+    raise SerdeError(f"unknown wire kind {kind!r}")
+
+
+def wire_nbytes(wire: Wire) -> int:
+    """Payload size of a wire envelope without consuming it."""
+    if wire[0] == "inline":
+        return buffers_nbytes(wire[1])
+    return int(sum(
+        int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        for _key, dtype, shape, _off in wire[2]
+    ))
+
+
+def discard_wire(wire: Wire) -> None:
+    """Free a wire envelope *without* consuming its contents.
+
+    The worker pool calls this on the two paths where an envelope is
+    created but never unwrapped: a payload wire whose worker died before
+    attaching, and a stale result wire from an aborted call.  Inline
+    wires need nothing; shm wires attach + unlink so the kernel frees
+    the segment (already-consumed or never-created names are fine).
+    """
+    if wire[0] != "shm":
+        return
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=wire[1])
+    except FileNotFoundError:
+        return  # consumed (receiver unlinked on attach) or never created
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    shm.close()
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = ["SimTask", "NetworkModel", "SimConfig", "SimResult", "simulate",
-           "strong_scaling"]
+           "strong_scaling", "fit_network_model", "calibrate_from_counters"]
 
 
 @dataclass
@@ -317,3 +317,122 @@ def strong_scaling(tasks: Sequence[SimTask], rank_counts: Sequence[int],
             "steals": float(res.n_steal_successes),
         }
     return out
+
+
+# ----------------------------------------------------------------------
+# Calibration from measured runtime counters
+# ----------------------------------------------------------------------
+#: phases on the parent rank that precede parallel refinement — their
+#: measured sum is the simulator's ``serial_setup`` (rank-0 work before
+#: the tree distribution starts).
+SETUP_PHASES = ("boundary_layer", "nearbody_setup", "decoupling")
+
+#: sanity clamps on the fitted alpha-beta model: latency no better than
+#: 0.1 us, bandwidth between 1 MB/s (a pipe on a thrashing box) and
+#: 1 TB/s (beyond any single NIC).
+_MIN_LATENCY = 1.0e-7
+_MIN_BANDWIDTH = 1.0e6
+_MAX_BANDWIDTH = 1.0e12
+
+
+def fit_network_model(nbytes: Sequence[float], seconds: Sequence[float],
+                      *, default: Optional[NetworkModel] = None
+                      ) -> NetworkModel:
+    """Least-squares alpha-beta fit of measured transfer (size, time) pairs.
+
+    ``seconds[i]`` is the wall time to ship ``nbytes[i]`` bytes (the serde
+    layer records one pair per shared-memory segment it publishes).  A
+    degree-1 polyfit gives ``time = intercept + slope * bytes``, i.e.
+    ``latency = intercept`` and ``bandwidth = 1 / slope``, clamped to sane
+    hardware ranges.  With fewer than two distinct sizes the line is
+    unconstrained and ``default`` (4X FDR Infiniband) is returned; a
+    non-positive slope (noise-dominated measurements) keeps the default
+    bandwidth and uses the mean measured time as latency.
+    """
+    default = default if default is not None else NetworkModel()
+    x = np.asarray(nbytes, dtype=np.float64)
+    y = np.asarray(seconds, dtype=np.float64)
+    if x.size != y.size:
+        raise ValueError("nbytes/seconds sample streams differ in length")
+    if x.size < 2 or np.unique(x).size < 2:
+        return default
+    # Theil-Sen estimate (median of pairwise slopes): the first segment
+    # creation pays a page-fault warm-up penalty orders of magnitude
+    # above steady state, and such a high-leverage outlier drags a
+    # least-squares line; the median slope shrugs it off.  Sample
+    # streams are small (one pair per shm publish), so the O(n^2) pair
+    # set is cheap; cap it with a deterministic even subsample.
+    if x.size > 200:
+        idx = np.linspace(0, x.size - 1, 200).astype(np.intp)
+        x, y = x[idx], y[idx]
+    ii, jj = np.triu_indices(x.size, k=1)
+    dx = x[jj] - x[ii]
+    nz = dx != 0.0
+    slope = float(np.median((y[jj] - y[ii])[nz] / dx[nz]))
+    intercept = float(np.median(y - slope * x))
+    if slope <= 0.0:
+        return NetworkModel(latency=max(float(np.mean(y)), _MIN_LATENCY),
+                            bandwidth=default.bandwidth)
+    bandwidth = min(max(1.0 / float(slope), _MIN_BANDWIDTH), _MAX_BANDWIDTH)
+    return NetworkModel(latency=max(float(intercept), _MIN_LATENCY),
+                        bandwidth=bandwidth)
+
+
+def calibrate_from_counters(sink, *, replicate_to: int = 12288,
+                            seed: int = 7,
+                            per_task_overhead: Optional[float] = None,
+                            network: Optional[NetworkModel] = None,
+                            ) -> Tuple[List[SimTask], SimConfig]:
+    """Build a calibrated ``(tasks, SimConfig)`` from a measured run.
+
+    ``sink`` is a :class:`repro.runtime.counters.Counters` that observed a
+    real ``generate_mesh`` run (``with use_counters() as sink: ...``).
+    Everything the simulator needs is read off the sink:
+
+    - **task costs/sizes** from the ``executor.item_seconds`` /
+      ``executor.item_bytes`` sample streams (one pair per refined
+      subdomain, measured inside the worker);
+    - **network model** fitted from the paired ``serde.shm_nbytes`` /
+      ``serde.shm_seconds`` streams (shared-memory publish timings) via
+      :func:`fit_network_model`, unless ``network`` overrides it;
+    - **serial_setup** from the measured :data:`SETUP_PHASES` wall times
+      (the parent-rank work before refinement can go wide);
+    - **per_task_overhead** defaults to 1e-4 s — the queue-pop/dispatch
+      cost per item, matching the reference Fig. 11 configuration —
+      unless a measured value is passed in.
+
+    The measured tasks are replicated with +/-20% multiplicative jitter
+    (seeded, deterministic) to ``replicate_to`` items, modelling the
+    paper's cluster-scale subdomain counts where refinement dominates the
+    unreplicated setup phases.  Raises ``ValueError`` when the sink holds
+    no per-item cost samples (the run did not go through the executor).
+    """
+    costs = list(sink.samples.get("executor.item_seconds", []))
+    sizes = list(sink.samples.get("executor.item_bytes", []))
+    if not costs:
+        raise ValueError(
+            "sink has no 'executor.item_seconds' samples — calibrate from "
+            "a run that dispatched work through the executor layer")
+    if len(sizes) < len(costs):
+        sizes = sizes + [float(SimTask.size_bytes)] * (len(costs)
+                                                       - len(sizes))
+    base = [SimTask(cost=float(c), size_bytes=float(b))
+            for c, b in zip(costs, sizes)]
+
+    if network is None:
+        network = fit_network_model(
+            sink.samples.get("serde.shm_nbytes", []),
+            sink.samples.get("serde.shm_seconds", []))
+    serial_setup = float(sum(sink.phases.get(p, 0.0) for p in SETUP_PHASES))
+    overhead = 1.0e-4 if per_task_overhead is None else per_task_overhead
+
+    rng = np.random.default_rng(seed)
+    factor = max(1, int(replicate_to) // len(base))
+    tasks = [
+        SimTask(cost=float(t.cost * rng.uniform(0.8, 1.25)),
+                size_bytes=t.size_bytes)
+        for _ in range(factor) for t in base
+    ]
+    config = SimConfig(network=network, serial_setup=serial_setup,
+                       per_task_overhead=overhead)
+    return tasks, config

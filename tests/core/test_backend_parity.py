@@ -7,6 +7,8 @@ lexicographically, triangle indices remapped and rotation-normalised) so
 that merge order cannot mask or fake a difference.
 """
 
+import contextlib
+
 import numpy as np
 import pytest
 
@@ -15,9 +17,17 @@ from repro.core.parallel_bl import parallel_bl_points
 from repro.core.pipeline import MeshConfig, generate_mesh
 from repro.geometry.airfoils import naca0012
 from repro.geometry.pslg import PSLG
+from repro.lint import tsan
 from repro.runtime import serde
 
 PARALLEL_BACKENDS = ["threads", "processes"]
+
+
+def _maybe_suspend(name):
+    """Processes runs fail fast under an ambient REPRO_SANITIZE=1."""
+    if name == "processes" and tsan.enabled():
+        return tsan.suspend()
+    return contextlib.nullcontext()
 
 
 def canonical(mesh):
@@ -110,3 +120,66 @@ class TestBoundaryLayerParity:
         coords, _ = parallel_bl_points(self.pslg, self.config, n_ranks=5,
                                        backend="processes")
         assert np.array_equal(coords, self.ref_coords)
+
+
+class TestStreamingParity:
+    """Streamed dispatch is an execution-overlap optimisation, not a
+    different algorithm: ``decouple_stream`` yields subdomains in
+    exactly the order ``decouple`` returns them and submission order
+    equals the barriered payload order, so the merged mesh must be
+    *byte*-identical — raw array bytes, not just canonical form."""
+
+    @classmethod
+    def setup_class(cls):
+        cls.pslg = PSLG.from_loops([naca0012(41)])
+        cls.config = MeshConfig(
+            bl=BoundaryLayerConfig(first_spacing=2e-3, growth_ratio=1.4,
+                                   max_layers=12),
+            farfield_chords=10.0,
+            target_subdomains=8,
+        )
+        cls.barriered = generate_mesh(cls.pslg, cls.config,
+                                      backend="serial", stream=False)
+
+    def assert_bytes_identical(self, mesh):
+        ref = self.barriered.mesh
+        assert mesh.points.tobytes() == ref.points.tobytes()
+        assert mesh.triangles.tobytes() == ref.triangles.tobytes()
+        assert mesh.segments.tobytes() == ref.segments.tobytes()
+
+    @pytest.mark.parametrize("name", ["serial"] + PARALLEL_BACKENDS)
+    def test_streamed_equals_barriered(self, name):
+        with _maybe_suspend(name):
+            streamed = generate_mesh(self.pslg, self.config, backend=name,
+                                     n_ranks=3, stream=True)
+        self.assert_bytes_identical(streamed.mesh)
+        # The streamed run discovered the same subdomain sequence.
+        assert len(streamed.subdomains) == len(self.barriered.subdomains)
+        for a, b in zip(streamed.subdomains, self.barriered.subdomains):
+            assert np.array_equal(a.ring, b.ring)
+
+    @pytest.mark.parametrize("name", PARALLEL_BACKENDS)
+    def test_barriered_parallel_equals_barriered_serial(self, name):
+        with _maybe_suspend(name):
+            result = generate_mesh(self.pslg, self.config, backend=name,
+                                   n_ranks=3, stream=False)
+        self.assert_bytes_identical(result.mesh)
+
+    def test_env_knob_matches_explicit_arg(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM", "0")
+        via_env = generate_mesh(self.pslg, self.config, backend="serial")
+        self.assert_bytes_identical(via_env.mesh)
+        monkeypatch.setenv("REPRO_STREAM", "1")
+        via_env = generate_mesh(self.pslg, self.config, backend="serial")
+        self.assert_bytes_identical(via_env.mesh)
+
+    def test_streamed_threads_under_sanitizer(self):
+        """REPRO_SANITIZE=1 threads: the race-instrumented runtime sees
+        the streamed dispatch path and still produces the same bytes."""
+        with tsan.sanitize() as det:
+            streamed = generate_mesh(self.pslg, self.config,
+                                     backend="threads", n_ranks=3,
+                                     stream=True)
+            races = det.races
+        assert races == []
+        self.assert_bytes_identical(streamed.mesh)

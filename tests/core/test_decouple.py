@@ -8,6 +8,7 @@ import pytest
 from repro.core.decouple import (
     DecoupledSubdomain,
     decouple,
+    decouple_stream,
     estimate_triangles,
     initial_quadrants,
     march_path,
@@ -181,6 +182,36 @@ class TestDecouple:
             ring=np.array([(0, 0), (2, 0), (2, 2), (0, 2)], dtype=float))
         es, eb = estimate_triangles(small, s), estimate_triangles(big, s)
         assert eb == pytest.approx(4 * es, rel=0.15)
+
+    def test_stream_yields_exact_decouple_order(self):
+        """Parity-critical: the generator must produce the same
+        subdomains in the same order as the barriered call — streamed
+        submission order is what keeps parallel meshes byte-identical."""
+        s = RadialSizing((0, 0), h0=0.4, grading=0.3)
+        barriered = decouple(self._quads(s), s, target_count=16)
+        streamed = list(decouple_stream(self._quads(s), s, target_count=16))
+        assert len(streamed) == len(barriered)
+        for a, b in zip(streamed, barriered):
+            assert np.array_equal(a.ring, b.ring)
+            assert a.level == b.level
+            assert a.est_triangles == b.est_triangles
+
+    def test_stream_is_incremental(self):
+        """Subdomains come out while splitting is still in progress —
+        the first yield must not wait for the full decomposition."""
+        s = RadialSizing((0, 0), h0=0.4, grading=0.3)
+        gen = decouple_stream(self._quads(s), s, target_count=16)
+        first = next(gen)
+        rest = list(gen)
+        total = len(decouple(self._quads(s), s, target_count=16))
+        assert 1 + len(rest) == total
+        assert first.ring.shape[1] == 2
+
+    def test_stream_below_target_passthrough(self):
+        s = RadialSizing((0, 0), h0=0.4, grading=0.3)
+        quads = self._quads(s)
+        out = list(decouple_stream(quads, s, target_count=2))
+        assert [id(x) for x in out] == [id(q) for q in quads]
 
 
 class TestRefineConformity:

@@ -137,6 +137,28 @@ class TestClipSegment:
         seg = clip_segment((0.2, 0.2), (0.8, 0.8), UNIT)
         assert seg == ((0.2, 0.2), (0.8, 0.8))
 
+    def test_subnormal_corner_graze(self):
+        # Regression: a segment grazing the (0, 0) corner by a subnormal
+        # margin used to underflow the product-first interpolation in
+        # clip_segment, returning a degenerate "clip" that
+        # segment_intersects_box (correctly) rejects.
+        a = (-2.3139926960687743e-280, 0.0)
+        b = (0.0, -2.3139926960687743e-280)
+        assert not segment_intersects_box(a, b, UNIT)
+        assert clip_segment(a, b, UNIT) is None
+
+    def test_corner_graze_clip_order_consistency(self):
+        # Regression: this segment misses the (0, 1) corner by ~2.6e-202.
+        # Clipping the LEFT endpoint first rounds it onto the corner
+        # (1.0 + 2.6e-202 -> 1.0, "hit"); clipping the TOP endpoint first
+        # keeps both endpoints LEFT ("miss").  clip_segment and
+        # segment_intersects_box must pick the endpoint to clip with the
+        # same rule, or they disagree on exactly these grazers.
+        a = (-2.6050635923917887e-202, 1.0)
+        b = (1.0, 2.0)
+        assert not segment_intersects_box(a, b, UNIT)
+        assert clip_segment(a, b, UNIT) is None
+
     @given(a=point, b=point)
     @settings(max_examples=200)
     def test_clip_consistent_with_test(self, a, b):

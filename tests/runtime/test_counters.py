@@ -105,3 +105,56 @@ class TestAmbientSink:
             t.join()
         assert sink.kernel.inserts == 200 * tri.stat_inserts
         assert sink.events["n"] == 200
+
+
+class TestSampleStreams:
+    """``observe`` keeps raw per-observation values — the measurement
+    source the simulator calibrates its cost/network models from."""
+
+    def test_observe_appends_raw_values(self):
+        sink = Counters()
+        sink.observe("executor.item_seconds", 0.25)
+        sink.observe("executor.item_seconds", 0.5)
+        sink.observe("executor.item_bytes", 1024)
+        assert sink.samples["executor.item_seconds"] == [0.25, 0.5]
+        assert sink.samples["executor.item_bytes"] == [1024.0]
+
+    def test_snapshot_merge_concatenates_streams(self):
+        worker_a, worker_b, parent = Counters(), Counters(), Counters()
+        for v in (0.1, 0.2):
+            worker_a.observe("s", v)
+        worker_b.observe("s", 0.3)
+        worker_b.observe("other", 7.0)
+        parent.observe("s", 0.05)
+        parent.merge_snapshot(worker_a.snapshot())
+        parent.merge_snapshot(worker_b.snapshot())
+        assert parent.samples["s"] == [0.05, 0.1, 0.2, 0.3]
+        assert parent.samples["other"] == [7.0]
+
+    def test_snapshot_is_plain_data_copy(self):
+        sink = Counters()
+        sink.observe("s", 1.0)
+        snap = sink.snapshot()
+        sink.observe("s", 2.0)
+        assert snap["samples"]["s"] == [1.0]  # detached from the sink
+
+    def test_as_dict_summarises_samples(self):
+        sink = Counters()
+        for v in (1.0, 2.0, 3.0):
+            sink.observe("s", v)
+        summary = sink.as_dict()["samples"]["s"]
+        assert summary == {"n": 3, "total": 6.0, "mean": 2.0}
+
+    def test_observe_thread_safe(self):
+        sink = Counters()
+
+        def work():
+            for i in range(200):
+                sink.observe("s", float(i))
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(sink.samples["s"]) == 800

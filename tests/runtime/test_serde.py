@@ -153,6 +153,76 @@ class TestSharedMemoryTransport:
         serde.buffers_from_shm(name, meta)
         assert sink.events.get("serde.bytes_shm", 0) >= 8192
 
+    def test_shm_timing_samples_recorded(self):
+        """Each publish records a paired (nbytes, seconds) observation —
+        the simulator's network-model fit data."""
+        from repro.runtime.counters import use_counters
+
+        with use_counters() as sink:
+            name, meta = serde.buffers_to_shm(
+                {"x": np.zeros(2048, dtype=np.float64)})
+        serde.buffers_from_shm(name, meta)
+        nbytes = sink.samples["serde.shm_nbytes"]
+        seconds = sink.samples["serde.shm_seconds"]
+        assert len(nbytes) == len(seconds) == 1
+        assert nbytes[0] >= 2048 * 8
+        assert seconds[0] >= 0.0
+
+
+class TestWireEnvelope:
+    """``buffers_to_wire``: inline below the threshold, shm above, and
+    the consuming/discarding sides leave no segment behind."""
+
+    def _buffers(self, n):
+        return {"x": np.arange(n, dtype=np.float64)}
+
+    def test_small_payload_inline(self):
+        wire = serde.buffers_to_wire(self._buffers(8))
+        assert wire[0] == "inline"
+        out = serde.wire_to_buffers(wire)
+        assert np.array_equal(out["x"], np.arange(8, dtype=np.float64))
+
+    def test_large_payload_rides_shm(self):
+        buffers = self._buffers(50_000)
+        wire = serde.buffers_to_wire(buffers)
+        assert wire[0] == "shm"
+        out = serde.wire_to_buffers(wire)
+        assert np.array_equal(out["x"], buffers["x"])
+
+    def test_threshold_override(self):
+        wire = serde.buffers_to_wire(self._buffers(8), min_bytes=1)
+        assert wire[0] == "shm"
+        serde.discard_wire(wire)
+        wire = serde.buffers_to_wire(self._buffers(50_000),
+                                     min_bytes=1 << 30)
+        assert wire[0] == "inline"
+
+    def test_wire_nbytes_both_kinds(self):
+        buffers = self._buffers(1000)
+        expected = serde.buffers_nbytes(buffers)
+        assert serde.wire_nbytes(serde.buffers_to_wire(
+            buffers, min_bytes=1 << 30)) == expected
+        shm_wire = serde.buffers_to_wire(buffers, min_bytes=1)
+        assert serde.wire_nbytes(shm_wire) == expected
+        serde.discard_wire(shm_wire)
+
+    def test_discard_frees_segment_and_is_idempotent(self):
+        import os
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        wire = serde.buffers_to_wire(self._buffers(4096), min_bytes=1)
+        name = wire[1].lstrip("/")
+        assert os.path.exists(os.path.join("/dev/shm", name))
+        serde.discard_wire(wire)
+        assert not os.path.exists(os.path.join("/dev/shm", name))
+        serde.discard_wire(wire)  # second discard: tolerated no-op
+        serde.discard_wire(("inline", self._buffers(4)))  # no-op too
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(serde.SerdeError, match="wire"):
+            serde.wire_to_buffers(("carrier-pigeon", "x", {}))
+
 
 class TestPSLGRoundTrip:
     @pytest.mark.parametrize("pslg", [

@@ -4,9 +4,12 @@ import numpy as np
 import pytest
 
 from repro.runtime.simulator import (
+    SETUP_PHASES,
     NetworkModel,
     SimConfig,
     SimTask,
+    calibrate_from_counters,
+    fit_network_model,
     simulate,
     strong_scaling,
 )
@@ -153,3 +156,119 @@ class TestDistributionAndFlags:
     def test_single_task_many_ranks(self):
         res = simulate([SimTask(5.0)], 32)
         assert res.makespan == pytest.approx(5.0, rel=0.01)
+
+
+class TestFitNetworkModel:
+    def test_recovers_synthetic_alpha_beta(self):
+        lat, bw = 1e-5, 1e9
+        x = np.array([1e4, 5e4, 1e5, 5e5, 1e6])
+        y = lat + x / bw
+        net = fit_network_model(x, y)
+        assert net.latency == pytest.approx(lat, rel=1e-6, abs=1e-9)
+        assert net.bandwidth == pytest.approx(bw, rel=1e-6)
+
+    def test_too_few_samples_returns_default(self):
+        default = NetworkModel(latency=3e-6, bandwidth=5e9)
+        assert fit_network_model([], [], default=default) is default
+        assert fit_network_model([100.0], [1e-4], default=default) is default
+        # Two samples of the same size: the line is unconstrained.
+        assert fit_network_model([100.0, 100.0], [1e-4, 2e-4],
+                                 default=default) is default
+
+    def test_negative_slope_keeps_default_bandwidth(self):
+        """Noise-dominated data (bigger transfer measured faster) must
+        not produce a negative bandwidth."""
+        net = fit_network_model([1e3, 1e6], [1e-2, 1e-4])
+        assert net.bandwidth == NetworkModel().bandwidth
+        assert net.latency > 0.0
+
+    def test_outlier_does_not_flip_the_fit(self):
+        """The first shm create pays a warm-up penalty; one gross
+        outlier must not corrupt the slope."""
+        lat, bw = 1e-5, 1e9
+        x = np.array([1e4, 2e4, 5e4, 1e5, 2e5, 5e5])
+        y = lat + x / bw
+        y[0] += 5e-2  # 50 ms warm-up spike on the smallest transfer
+        net = fit_network_model(x, y)
+        assert net.bandwidth == pytest.approx(bw, rel=0.05)
+
+    def test_clamps(self):
+        # Absurd slope -> bandwidth clamped to the floor, never below.
+        net = fit_network_model([1.0, 2.0], [0.0, 1e3])
+        assert net.bandwidth >= 1e6 - 1
+        assert net.latency >= 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            fit_network_model([1.0, 2.0], [1e-4])
+
+
+class _FakeSink:
+    """Duck-typed Counters: just the fields calibration reads."""
+
+    def __init__(self, samples, phases):
+        self.samples = samples
+        self.phases = phases
+
+
+def _measured_sink(n_items=12):
+    rng = np.random.default_rng(3)
+    return _FakeSink(
+        samples={
+            "executor.item_seconds": list(rng.uniform(0.05, 0.4, n_items)),
+            "executor.item_bytes": list(rng.uniform(2e4, 4e5, n_items)),
+            "serde.shm_nbytes": [1e4, 1e5, 1e6],
+            "serde.shm_seconds": [2e-5 + s / 2e9 for s in
+                                  (1e4, 1e5, 1e6)],
+        },
+        phases={"boundary_layer": 0.8, "nearbody_setup": 0.1,
+                "decoupling": 0.3, "refinement": 2.0, "merge": 0.2},
+    )
+
+
+class TestCalibrateFromCounters:
+    def test_builds_tasks_and_config(self):
+        tasks, config = calibrate_from_counters(_measured_sink())
+        assert len(tasks) >= 12288 - 12
+        assert all(t.cost > 0 for t in tasks)
+        # Setup = the pre-refinement phases only.
+        assert config.serial_setup == pytest.approx(0.8 + 0.1 + 0.3)
+        assert set(SETUP_PHASES) == {"boundary_layer", "nearbody_setup",
+                                     "decoupling"}
+        # Network fitted from the shm samples, not the default.
+        assert config.network.bandwidth == pytest.approx(2e9, rel=0.05)
+        assert config.per_task_overhead == pytest.approx(1e-4)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        sink = _measured_sink()
+        tasks_a, _ = calibrate_from_counters(sink, seed=7)
+        tasks_b, _ = calibrate_from_counters(sink, seed=7)
+        assert [t.cost for t in tasks_a] == [t.cost for t in tasks_b]
+        base = sink.samples["executor.item_seconds"]
+        n = len(base)
+        for i, t in enumerate(tasks_a):
+            ratio = t.cost / base[i % n]
+            assert 0.8 <= ratio <= 1.25
+
+    def test_explicit_network_and_overhead_override(self):
+        net = NetworkModel(latency=9e-6, bandwidth=3e9)
+        _, config = calibrate_from_counters(_measured_sink(), network=net,
+                                            per_task_overhead=5e-4)
+        assert config.network is net
+        assert config.per_task_overhead == pytest.approx(5e-4)
+
+    def test_no_executor_samples_raises(self):
+        sink = _FakeSink(samples={}, phases={"boundary_layer": 1.0})
+        with pytest.raises(ValueError, match="executor.item_seconds"):
+            calibrate_from_counters(sink)
+
+    def test_calibrated_run_scales_like_the_paper(self):
+        """End-to-end: calibrated tasks + config through the simulator
+        keep the Figs. 11-12 shape (monotone, high efficiency at low
+        rank counts)."""
+        tasks, config = calibrate_from_counters(_measured_sink(),
+                                                replicate_to=2048)
+        table = strong_scaling(tasks, [1, 4, 16, 64], config)
+        s = {p: table[p]["speedup"] for p in (1, 4, 16, 64)}
+        assert s[1] <= s[4] <= s[16] <= s[64]
+        assert table[16]["efficiency"] > 0.8
