@@ -1,0 +1,250 @@
+"""Meshing-as-a-service throughput benchmark and acceptance gate.
+
+The service exists to amortize per-job startup across many requests:
+one warm daemon vs a fork-per-call CLI that pays interpreter boot,
+imports and executor setup for every mesh.  This bench drives a live
+daemon with a repeated-request workload from concurrent clients and
+enforces the PR's acceptance gates:
+
+1. **warm-cache hit ratio >= 0.9** on the repeated-request workload
+   (each distinct request misses once, every repeat is a content hit);
+2. **byte-identical results** — every served mesh equals a direct
+   ``generate_mesh`` run of the same request, hit or miss;
+3. **p50 warm-request latency below fork-per-call CLI startup** — the
+   time to serve a cached mesh over the socket must undercut merely
+   *starting* ``repro-mesh`` (interpreter + imports + parser), the
+   floor of any fork-per-call invocation.
+
+Also reported: requests/sec, latency percentiles (p50/p99), mean batch
+size, and the daemon's own counter snapshot.  Emits
+``BENCH_service_throughput.json`` next to the repo root (one
+trajectory point per run) and prints a table.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.bl_pipeline import BoundaryLayerConfig  # noqa: E402
+from repro.core.pipeline import (  # noqa: E402
+    MeshConfig,
+    generate_mesh,
+    pack_mesh_request,
+)
+from repro.geometry.airfoils import naca4  # noqa: E402
+from repro.geometry.pslg import PSLG  # noqa: E402
+from repro.runtime import serde  # noqa: E402
+from repro.runtime.client import ServiceClient  # noqa: E402
+from repro.runtime.service import (  # noqa: E402
+    MeshService,
+    ServiceThread,
+    percentile,
+)
+
+HIT_RATIO_GATE = 0.9
+CLI_STARTUP_RUNS = 3
+
+
+def build_workload(smoke: bool):
+    """Distinct (PSLG, MeshConfig) cases; repeats come from scheduling."""
+    if smoke:
+        specs = [("0012", 31, 0.30), ("0012", 31, 0.35), ("2412", 31, 0.35)]
+        layers, reps = 6, 15
+    else:
+        specs = [("0012", 61, 0.30), ("0012", 61, 0.35),
+                 ("2412", 61, 0.35), ("4412", 61, 0.35)]
+        layers, reps = 12, 20
+    cases = []
+    for code, n_points, grading in specs:
+        pslg = PSLG.from_loops([naca4(code, n_points)],
+                               names=[f"naca{code}"])
+        config = MeshConfig(
+            bl=BoundaryLayerConfig(first_spacing=2e-3, growth_ratio=1.4,
+                                   max_layers=layers),
+            farfield_chords=5.0, grading=grading, target_subdomains=4)
+        cases.append((pslg, config))
+    return cases, reps
+
+
+def measure_cli_startup() -> float:
+    """Median wall time to boot the CLI to a built parser — the floor
+    of any fork-per-call ``repro-mesh`` invocation."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    times = []
+    for _ in range(CLI_STARTUP_RUNS):
+        t0 = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-c",
+             "import repro.cli as c; c.build_parser()"],
+            check=True, env=env, cwd=str(REPO_ROOT),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        times.append(time.perf_counter() - t0)
+    return percentile(times, 50.0)
+
+
+def drive_service(endpoint, cases, reps, direct, n_clients):
+    """Submit ``reps`` rounds of every case from ``n_clients`` threads.
+
+    Returns per-request records ``(case_idx, kind, elapsed_s, match)``.
+    """
+    schedule = []
+    for rep in range(reps):
+        for idx in range(len(cases)):
+            schedule.append(idx)
+    payloads = [pack_mesh_request(pslg, config) for pslg, config in cases]
+    records = []
+    lock = threading.Lock()
+    cursor = [0]
+
+    def worker():
+        with ServiceClient(endpoint) as client:
+            while True:
+                with lock:
+                    if cursor[0] >= len(schedule):
+                        return
+                    idx = schedule[cursor[0]]
+                    cursor[0] += 1
+                t0 = time.perf_counter()
+                kind, blob = client.submit_packed(payloads[idx])
+                elapsed = time.perf_counter() - t0
+                with lock:
+                    records.append((idx, kind, elapsed,
+                                    blob == direct[idx]))
+
+    threads = [threading.Thread(target=worker) for _ in range(n_clients)]
+    t_wall = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t_wall
+    return records, wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small cases for CI")
+    parser.add_argument("--backend", default="serial",
+                        help="service executor backend (default serial)")
+    parser.add_argument("--clients", type=int, default=3,
+                        help="concurrent client threads (default 3)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="report without enforcing the gates")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_service_throughput.json")
+    args = parser.parse_args(argv)
+
+    cases, reps = build_workload(args.smoke)
+    print(f"workload: {len(cases)} distinct cases x {reps} reps, "
+          f"{args.clients} clients, backend={args.backend}")
+
+    print("meshing reference results directly ...")
+    direct = []
+    for pslg, config in cases:
+        result = generate_mesh(pslg, config, backend="serial")
+        direct.append(serde.buffers_to_bytes(serde.pack_mesh(result.mesh)))
+
+    cli_startup = measure_cli_startup()
+    print(f"fork-per-call CLI startup floor: {cli_startup * 1e3:.1f} ms "
+          f"(median of {CLI_STARTUP_RUNS})")
+
+    with tempfile.TemporaryDirectory() as td:
+        service = MeshService(f"unix:{td}/bench.sock",
+                              backend=args.backend, batch_window=0.002)
+        thread = ServiceThread(service)
+        endpoint = thread.start()
+        try:
+            records, wall = drive_service(endpoint, cases, reps, direct,
+                                          args.clients)
+            server = service.stats()
+        finally:
+            thread.stop()
+
+    total = len(records)
+    hits = sum(1 for _, kind, _, _ in records if kind == "mesh-hit")
+    mismatches = sum(1 for _, _, _, match in records if not match)
+    hit_ratio = hits / total if total else 0.0
+    warm = sorted(t for _, kind, t, _ in records if kind == "mesh-hit")
+    all_lat = [t for _, _, t, _ in records]
+    p50_warm = percentile(warm, 50.0)
+    p99_warm = percentile(warm, 99.0)
+
+    print(f"requests: {total} in {wall:.2f}s "
+          f"({total / wall:.0f} req/s overall)")
+    print(f"hit ratio: {hit_ratio:.3f} (server: "
+          f"{server['hit_ratio']:.3f}); mean batch "
+          f"{server['batch_size_mean']:.2f}")
+    print(f"warm latency: p50 {p50_warm * 1e3:.2f} ms, "
+          f"p99 {p99_warm * 1e3:.2f} ms; all-request p50 "
+          f"{percentile(all_lat, 50.0) * 1e3:.2f} ms")
+
+    ok = True
+    enforced = not args.no_check
+    checks = [
+        ("hit-ratio", hit_ratio >= HIT_RATIO_GATE,
+         f"warm-cache hit ratio {hit_ratio:.3f} vs >= {HIT_RATIO_GATE}"),
+        ("byte-identical", mismatches == 0,
+         f"{mismatches} served result(s) differ from direct "
+         "generate_mesh"),
+        ("warm-latency", p50_warm < cli_startup,
+         f"p50 warm {p50_warm * 1e3:.2f} ms vs CLI startup "
+         f"{cli_startup * 1e3:.1f} ms"),
+    ]
+    for name, passed, detail in checks:
+        tag = "PASS" if passed else ("FAIL" if enforced else "WARN")
+        print(f"{tag}: {name}: {detail}")
+        if enforced and not passed:
+            ok = False
+
+    payload = {
+        "bench": "service_throughput",
+        "case": {
+            "distinct_cases": len(cases),
+            "reps": reps,
+            "clients": args.clients,
+            "backend": args.backend,
+            "smoke": bool(args.smoke),
+        },
+        "requests": total,
+        "wall_s": round(wall, 3),
+        "requests_per_s": round(total / wall, 1) if wall else None,
+        "hit_ratio": round(hit_ratio, 4),
+        "mismatches": mismatches,
+        "cli_startup_s": round(cli_startup, 4),
+        "latency": {
+            "warm_p50_s": round(p50_warm, 6),
+            "warm_p99_s": round(p99_warm, 6),
+            "all_p50_s": round(percentile(all_lat, 50.0), 6),
+            "all_p99_s": round(percentile(all_lat, 99.0), 6),
+        },
+        "server": {k: round(v, 6) for k, v in server.items()},
+        "gate": {
+            "hit_ratio_threshold": HIT_RATIO_GATE,
+            "enforced": bool(enforced),
+            "passed": bool(ok),
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

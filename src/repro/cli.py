@@ -10,6 +10,13 @@ Three-element high-lift configuration with custom BL parameters::
 
     repro-mesh --three-element --first-spacing 1e-3 --growth-ratio 1.25 \\
         --farfield-chords 40 -o out/highlift --format npz
+
+Meshing as a service — start a resident daemon once, then submit many
+requests without paying startup/fork per mesh::
+
+    repro-mesh serve --socket /tmp/mesh.sock --backend processes
+    repro-mesh submit --socket /tmp/mesh.sock --naca 0012 -o out/naca0012
+    repro-mesh submit --socket /tmp/mesh.sock --shutdown
 """
 
 from __future__ import annotations
@@ -33,14 +40,14 @@ from .runtime.counters import timed
 
 __all__ = ["main", "build_parser"]
 
+#: argv[0] values routed to the service subcommand parsers; everything
+#: else goes through the legacy one-shot parser unchanged.
+SERVICE_COMMANDS = ("serve", "submit")
 
-def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro-mesh",
-        description="Parallel 2D anisotropic Delaunay mesh generator "
-        "(ICPP 2016 reproduction)",
-    )
-    geo = p.add_mutually_exclusive_group(required=True)
+
+def _add_geometry_arguments(p: argparse.ArgumentParser, *,
+                            required: bool = True) -> None:
+    geo = p.add_mutually_exclusive_group(required=required)
     geo.add_argument("--naca", metavar="XXXX",
                      help="NACA 4-digit single-element airfoil")
     geo.add_argument("--naca5", metavar="XXXXX",
@@ -55,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="synthetic 3-element high-lift configuration")
     geo.add_argument("--poly", metavar="FILE",
                      help="read the input PSLG from a Triangle .poly file")
+
+
+def _add_mesh_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--surface-points", type=int, default=101,
                    help="surface stations per element (default 101)")
     p.add_argument("--first-spacing", type=float, default=1e-3,
@@ -73,11 +83,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grading", type=float, default=0.35)
     p.add_argument("--subdomains", type=int, default=16,
                    help="decoupled inviscid subdomain count")
+
+
+def _add_backend_argument(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", choices=executor.available_backends(),
                    default=None,
                    help="refinement executor (default: $REPRO_BACKEND or "
                    "local); 'threads' models the paper's MPI ranks but is "
                    "GIL-bound, 'processes' runs GIL-free workers")
+
+
+def _add_address_arguments(p: argparse.ArgumentParser) -> None:
+    where = p.add_mutually_exclusive_group(required=True)
+    where.add_argument("--socket", metavar="PATH",
+                       help="Unix domain socket path for the service")
+    where.add_argument("--tcp", metavar="HOST:PORT",
+                       help="localhost TCP endpoint for the service "
+                       "(port 0 binds an ephemeral port)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-mesh",
+        description="Parallel 2D anisotropic Delaunay mesh generator "
+        "(ICPP 2016 reproduction)",
+        epilog="Subcommands 'repro-mesh serve' and 'repro-mesh submit' run "
+        "the meshing-as-a-service daemon and client; see their --help.",
+    )
+    _add_geometry_arguments(p, required=True)
+    _add_mesh_arguments(p)
+    _add_backend_argument(p)
     p.add_argument("--ranks", type=int, default=None,
                    help="worker count for the parallel backends "
                    "(default 4); rejected with --backend local/serial")
@@ -109,6 +144,60 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the runtime race sanitizer (equivalent to "
                    "REPRO_SANITIZE=1): instrument the threads backend's "
                    "RMA windows and communicator for data races")
+    return p
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-mesh serve",
+        description="Run the resident meshing service: one warm executor "
+        "pool and a content-addressed mesh cache shared across requests",
+    )
+    _add_address_arguments(p)
+    _add_backend_argument(p)
+    p.add_argument("--ranks", type=int, default=None,
+                   help="worker count per batched dispatch (default 4)")
+    p.add_argument("--batch-window", type=float, metavar="SECONDS",
+                   default=0.005,
+                   help="how long to gather concurrent cache misses into "
+                   "one executor dispatch (default 0.005s)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="cap on requests per dispatch window (default 16)")
+    p.add_argument("--cache-entries", type=int, default=256,
+                   help="content-addressed mesh cache capacity (default 256)")
+    p.add_argument("--stats-json", action="store_true",
+                   help="print the service counter snapshot as JSON on exit")
+    return p
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-mesh submit",
+        description="Submit one mesh request to a running repro-mesh "
+        "service (or --ping / --shutdown it)",
+    )
+    _add_address_arguments(p)
+    _add_geometry_arguments(p, required=False)
+    _add_mesh_arguments(p)
+    p.add_argument("--ping", action="store_true",
+                   help="round-trip a ping frame and print the RTT")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the service to shut down gracefully "
+                   "(after the mesh request, when one is given)")
+    p.add_argument("--server-stats", action="store_true",
+                   help="print the service's counter snapshot as JSON")
+    p.add_argument("--timeout", type=float, metavar="SECONDS", default=300.0,
+                   help="socket timeout for the request (default 300s)")
+    p.add_argument("--connect-retries", type=int, default=0,
+                   help="retry the initial connect this many times at "
+                   "0.1s intervals (for scripted startup races)")
+    p.add_argument("-o", "--output", default=None,
+                   help="output base path (no extension); required when "
+                   "submitting a geometry")
+    p.add_argument("--format", choices=["ascii", "npz", "vtk", "both"],
+                   default="ascii")
+    p.add_argument("--stats-json", action="store_true",
+                   help="print the reply summary as JSON")
     return p
 
 
@@ -146,7 +235,144 @@ def _load_geometry(args: argparse.Namespace) -> PSLG:
     return pslg
 
 
+def _config_from_args(args: argparse.Namespace) -> MeshConfig:
+    return MeshConfig(
+        bl=BoundaryLayerConfig(
+            first_spacing=args.first_spacing,
+            growth_ratio=args.growth_ratio,
+            max_layers=args.max_layers,
+            triangulation=args.bl_mode,
+        ),
+        farfield_chords=args.farfield_chords,
+        grading=args.grading,
+        target_subdomains=args.subdomains,
+    )
+
+
+def _write_mesh_outputs(args: argparse.Namespace, mesh) -> list:
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    written = []
+    if args.format in ("ascii", "both"):
+        written.extend(str(x) for x in write_mesh_ascii(out, mesh))
+    if args.format in ("npz", "both"):
+        written.append(str(write_mesh_npz(out.with_suffix(".npz"), mesh)))
+    if args.format == "vtk":
+        from .io.meshio import write_vtk
+
+        written.append(str(write_vtk(out.with_suffix(".vtk"), mesh)))
+    return written
+
+
+def _service_address(args: argparse.Namespace) -> str:
+    return f"unix:{args.socket}" if args.socket else f"tcp:{args.tcp}"
+
+
+def _serve_main(argv) -> int:
+    import asyncio
+
+    from .runtime.service import MeshService
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    backend = executor.resolve_backend_name(args.backend)
+    if args.ranks is not None and not executor.get_backend(backend).parallel:
+        parser.error(
+            f"--ranks only applies to parallel backends; --backend "
+            f"{backend} runs in-process")
+    service = MeshService(
+        _service_address(args),
+        backend=backend,
+        n_ranks=args.ranks if args.ranks is not None else 4,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        cache_entries=args.cache_entries,
+    )
+
+    async def _run() -> None:
+        await service.start()
+        print(f"repro-mesh service on {service.endpoint} "
+              f"(backend={service.backend_name})", flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            # ^C cancels the main task; shut down on the same loop so
+            # in-flight batches abort through the pool's epoch fence.
+            await service.shutdown()
+            raise
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    if args.stats_json:
+        print(json.dumps(service.stats(), indent=2))
+    return 0
+
+
+def _submit_main(argv) -> int:
+    from .runtime.client import ServiceClient
+
+    parser = build_submit_parser()
+    args = parser.parse_args(argv)
+    has_geometry = bool(args.naca or args.naca5 or args.joukowski
+                        or args.flat_plate or args.cylinder
+                        or args.three_element or args.poly)
+    if not (has_geometry or args.ping or args.shutdown or args.server_stats):
+        parser.error("nothing to do: give a geometry, --ping, "
+                     "--server-stats or --shutdown")
+    if has_geometry and args.output is None:
+        parser.error("-o/--output is required when submitting a geometry")
+    client = ServiceClient(_service_address(args), timeout=args.timeout,
+                           connect_retries=max(args.connect_retries, 0))
+    summary = {}
+    try:
+        if args.ping:
+            summary["ping_rtt_s"] = round(client.ping(), 6)
+        if has_geometry:
+            pslg = _load_geometry(args)
+            reply = client.submit(pslg, _config_from_args(args))
+            written = _write_mesh_outputs(args, reply.mesh)
+            summary.update({
+                "cached": reply.cached,
+                "key": reply.key,
+                "elapsed_s": round(reply.elapsed_s, 6),
+                "n_points": reply.mesh.n_points,
+                "n_triangles": reply.mesh.n_triangles,
+                "outputs": written,
+            })
+        if args.server_stats:
+            summary["server"] = client.stats()
+        if args.shutdown:
+            client.shutdown_server()
+            summary["shutdown"] = True
+    finally:
+        client.close()
+    if args.stats_json:
+        print(json.dumps(summary, indent=2))
+    else:
+        if "ping_rtt_s" in summary:
+            print(f"pong in {summary['ping_rtt_s']}s")
+        if "n_triangles" in summary:
+            source = "cache" if summary["cached"] else "meshed"
+            print(f"mesh: {summary['n_triangles']} triangles, "
+                  f"{summary['n_points']} points in "
+                  f"{summary['elapsed_s']}s ({source})")
+            for path in summary["outputs"]:
+                print(f"wrote {path}")
+        if "server" in summary:
+            print(json.dumps(summary["server"], indent=2))
+        if summary.get("shutdown"):
+            print("service shut down")
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     backend = executor.resolve_backend_name(args.backend)
@@ -177,17 +403,7 @@ def main(argv=None) -> int:
         os.environ[executor.POOL_TTL_ENV] = repr(float(args.pool_ttl))
     n_ranks = args.ranks if args.ranks is not None else 4
     pslg = _load_geometry(args)
-    config = MeshConfig(
-        bl=BoundaryLayerConfig(
-            first_spacing=args.first_spacing,
-            growth_ratio=args.growth_ratio,
-            max_layers=args.max_layers,
-            triangulation=args.bl_mode,
-        ),
-        farfield_chords=args.farfield_chords,
-        grading=args.grading,
-        target_subdomains=args.subdomains,
-    )
+    config = _config_from_args(args)
     if args.sanitize and not tsan.enabled():
         os.environ["REPRO_SANITIZE"] = "1"  # inherited by any subprocesses
         tsan.enable()
@@ -208,18 +424,7 @@ def main(argv=None) -> int:
                                    stream=not args.no_stream)
     elapsed = tm.elapsed
 
-    out = Path(args.output)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    written = []
-    if args.format in ("ascii", "both"):
-        written.extend(str(x) for x in write_mesh_ascii(out, result.mesh))
-    if args.format in ("npz", "both"):
-        written.append(str(write_mesh_npz(out.with_suffix(".npz"),
-                                          result.mesh)))
-    if args.format == "vtk":
-        from .io.meshio import write_vtk
-
-        written.append(str(write_vtk(out.with_suffix(".vtk"), result.mesh)))
+    written = _write_mesh_outputs(args, result.mesh)
     if args.report:
         from .analysis.report import mesh_report
 

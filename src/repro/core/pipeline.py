@@ -53,7 +53,16 @@ from .decouple import (
     ring_from_parts,
 )
 
-__all__ = ["MeshConfig", "MeshResult", "generate_mesh", "STREAM_ENV"]
+__all__ = [
+    "MeshConfig",
+    "MeshResult",
+    "generate_mesh",
+    "STREAM_ENV",
+    "pack_mesh_request",
+    "unpack_mesh_request",
+    "request_cost",
+    "mesh_workitem",
+]
 
 #: ``REPRO_STREAM=0`` disables streamed decompose->refine dispatch and
 #: restores the barriered two-stage flow (decouple fully, then refine).
@@ -284,3 +293,59 @@ def _refine_workitem(payload: serde.Buffers) -> serde.Buffers:
     mesh = refine_subdomain(sub, sizing, quality_bound=quality_bound,
                             max_steiner=int(max_steiner))
     return serde.pack_mesh(mesh)
+
+
+# ----------------------------------------------------------------------
+# Whole-request work items (the meshing service's unit of batching)
+# ----------------------------------------------------------------------
+def pack_mesh_request(pslg: PSLG,
+                      config: Optional[MeshConfig] = None) -> serde.Buffers:
+    """Flatten one complete ``generate_mesh`` input into a buffer dict.
+
+    The dict carries *everything* that determines the output mesh —
+    PSLG geometry plus the full (BL-nested) :class:`MeshConfig` — and
+    nothing that does not (backend, rank count and streaming mode are
+    transport knobs; backend parity guarantees they cannot change the
+    result).  Its :func:`repro.runtime.serde.canonical_hash` is therefore
+    a sound content address for the service's mesh cache.
+    """
+    payload = serde.nest("pslg.", serde.pack_pslg(pslg))
+    payload.update(serde.nest("config.",
+                              serde.pack_mesh_config(config or MeshConfig())))
+    return payload
+
+
+def unpack_mesh_request(payload: serde.Buffers):
+    """Inverse of :func:`pack_mesh_request` -> ``(pslg, config)``."""
+    pslg = serde.unpack_pslg(serde.unnest("pslg.", payload))
+    config = serde.unpack_mesh_config(serde.unnest("config.", payload))
+    return pslg, config
+
+
+def request_cost(payload: serde.Buffers) -> float:
+    """Largest-first scheduling weight for one packed mesh request.
+
+    Surface point count times subdomain count tracks total refinement
+    work well enough to keep a batch's big request off the critical
+    path; exactness does not matter, monotonicity does.
+    """
+    n_points = float(len(payload["pslg.points"]))
+    params = payload["config.params"]
+    target = float(params[list(serde._MESH_FIELDS).index(
+        "target_subdomains")])
+    return max(n_points * max(target, 1.0), 1.0)
+
+
+def mesh_workitem(payload: serde.Buffers) -> serde.Buffers:
+    """Executor work function: run one *whole* mesh request.
+
+    The meshing service batches concurrent client requests through a
+    single ``map_workitems`` dispatch with this function, so each pool
+    worker owns one request end to end.  Refinement inside the worker
+    runs on the serial backend — the parallelism axis here is *across*
+    requests, and a nested process pool inside a pool worker would
+    oversubscribe the machine.
+    """
+    pslg, config = unpack_mesh_request(payload)
+    result = generate_mesh(pslg, config, backend="serial")
+    return serde.pack_mesh(result.mesh)

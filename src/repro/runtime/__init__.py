@@ -1,7 +1,8 @@
 """Parallel runtime substrate: pluggable executor backends, in-process
-MPI subset, RMA window, work-stealing load balancer, buffer serde, and
-the discrete-event cluster simulator."""
+MPI subset, RMA window, work-stealing load balancer, buffer serde, the
+discrete-event cluster simulator, and the meshing service daemon."""
 
+from .client import MeshReply, ServiceClient
 from .comm import ANY_SOURCE, ANY_TAG, CommError, Message, ThreadComm, run_spmd
 from .counters import Counters, Histogram, KernelCounters, current, phase, use_counters
 from .executor import (
@@ -15,6 +16,13 @@ from .executor import (
 )
 from .loadbalance import DistributedWorker, WorkItem, WorkQueue
 from .rma import Window
+from .service import (
+    MeshCache,
+    MeshService,
+    ServiceError,
+    ServiceThread,
+    ServiceUnavailable,
+)
 from .simulator import (
     NetworkModel,
     SimConfig,
@@ -34,8 +42,15 @@ __all__ = [
     "ExecutorError",
     "Histogram",
     "KernelCounters",
+    "MeshCache",
+    "MeshReply",
+    "MeshService",
     "Message",
     "NetworkModel",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceThread",
+    "ServiceUnavailable",
     "SimConfig",
     "SimResult",
     "SimTask",

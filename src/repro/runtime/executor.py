@@ -695,6 +695,21 @@ class WorkerPool:
                 return
             self._handle_stale(msg)
 
+    def abort_call(self, reason: str = "aborted") -> bool:
+        """Request abort of the open streaming session, if any.
+
+        Thread-safe entry point for an external controller (the meshing
+        service's shutdown path): the open :class:`PoolStream` notices
+        the flag at its next pump tick, quiesces in-flight items behind
+        the epoch fence, and raises :class:`ExecutorError` out of the
+        blocked ``results()`` call.  Returns whether a session was open.
+        """
+        call = self._call
+        if call is None:
+            return False
+        call.request_abort(reason)
+        return True
+
     def shutdown(self) -> None:
         """Stop every worker and close the pool (idempotent)."""
         if self.closed:
@@ -766,8 +781,26 @@ class PoolStream:
         self._done = 0
         self._error: Optional[BaseException] = None
         self._closed = False
+        #: abort reason requested by another thread (GIL-atomic write);
+        #: honoured at the next pump tick / results() iteration.
+        self._abort_reason: Optional[str] = None
 
     # -- public API ----------------------------------------------------
+    def request_abort(self, reason: str = "aborted") -> None:
+        """Ask the dispatching thread to abandon this session.
+
+        Safe to call from any thread while ``results()`` blocks: the
+        session fails with :class:`ExecutorError`, in-flight items are
+        quiesced behind the pool's epoch fence (stale results discarded,
+        their shm wires freed) and the pool stays reusable.
+        """
+        self._abort_reason = reason
+
+    def _check_abort(self) -> None:
+        reason = self._abort_reason
+        if reason is not None and self._error is None:
+            self._fail(ExecutorError(f"dispatch aborted: {reason}"))
+
     def submit(self, payload, *, cost: float = 1.0,
                eager: bool = True) -> int:
         """Queue one item; with ``eager`` dispatch it right away."""
@@ -791,6 +824,7 @@ class PoolStream:
         if self._error is not None:
             raise self._error
         self._check_open()
+        self._check_abort()
         self._fill()
         while self._done < len(self._tasks):
             self._pump(block=True)
@@ -904,6 +938,7 @@ class PoolStream:
         if block:
             idle = 0.0
             while True:
+                self._check_abort()
                 try:
                     msg = pool._result_q.get(timeout=0.5)
                     break
@@ -1058,11 +1093,39 @@ class ProcessesBackend:
             self._pool.ttl = self.pool_ttl()
         return self._pool
 
+    def warm_pool(self, n_ranks: int = 4) -> int:
+        """Pre-fork pool workers up to ``n_ranks``; returns the count.
+
+        Long-running daemons call this *before* opening sockets or
+        files: workers forked later inherit every fd open at fork time,
+        so a client connection fd duplicated into a worker keeps the
+        peer from ever seeing EOF until that worker exits.  Warming
+        first also moves the fork cost out of the first request.
+        No-op (returns 0) when the warm pool is disabled.
+        """
+        if not self.pool_enabled:
+            return 0
+        pool = self._get_pool()
+        while pool.n_workers() < n_ranks:
+            pool._spawn()
+        return pool.n_workers()
+
     def shutdown_pool(self) -> None:
         """Stop the persistent workers now (the next call re-forks)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def abort(self, reason: str = "aborted") -> bool:
+        """Abort the in-flight dispatch, if any (see ``WorkerPool.abort_call``).
+
+        Returns whether a dispatch was actually open.  Backends without
+        an interruptible dispatch simply lack this method; callers probe
+        with ``getattr`` and fall back to letting the batch finish.
+        """
+        if self._pool is None or self._pool.closed:
+            return False
+        return self._pool.abort_call(reason)
 
     def _check_sanitizer(self) -> None:
         if tsan.enabled():

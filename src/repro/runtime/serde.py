@@ -27,10 +27,22 @@ Supported objects:
 
 Composition: :func:`nest` prefixes a packed dict's keys so several
 objects share one payload; :func:`unnest` extracts them back.
+
+Canonical byte stream: :func:`buffers_to_bytes` flattens a buffer dict
+into one deterministic byte string (keys sorted, dtype + shape + raw
+array bits) and :func:`bytes_to_buffers` maps it back as zero-copy
+read-only views.  Because the encoding is canonical — independent of
+dict insertion order and of how the arrays were produced —
+:func:`canonical_hash` (SHA-256 over the stream) is a *content address*:
+two requests hash equal iff their packed geometry/config bits are
+identical.  The meshing service keys its mesh cache and frames its
+socket protocol with exactly this encoding.
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -42,6 +54,9 @@ __all__ = [
     "buffers_nbytes",
     "nest",
     "unnest",
+    "buffers_to_bytes",
+    "bytes_to_buffers",
+    "canonical_hash",
     "SHM_MIN_BYTES",
     "buffers_to_shm",
     "buffers_from_shm",
@@ -60,6 +75,8 @@ __all__ = [
     "unpack_sizing",
     "pack_bl_config",
     "unpack_bl_config",
+    "pack_mesh_config",
+    "unpack_mesh_config",
 ]
 
 Buffers = Dict[str, np.ndarray]
@@ -117,6 +134,104 @@ def unnest(prefix: str, payload: Buffers) -> Buffers:
     if not out:
         raise SerdeError(f"payload holds nothing under prefix {prefix!r}")
     return out
+
+
+# ----------------------------------------------------------------------
+# Canonical byte stream + content addressing
+# ----------------------------------------------------------------------
+#: canonical stream magic + version; bump on any layout change so a
+#: stale cache or an old client fails loudly instead of misparsing.
+CANON_MAGIC = b"RSB1"
+
+#: per-entry fixed header: key length (u16), dtype-str length (u8),
+#: ndim (u8), payload nbytes (u64).
+_CANON_ENTRY = struct.Struct("<HBBQ")
+_CANON_HEAD = struct.Struct("<4sI")
+
+
+def buffers_to_bytes(buffers: Buffers) -> bytes:
+    """Serialize a buffer dict into one canonical byte string.
+
+    Canonical means *content-determined*: entries are emitted in sorted
+    key order and each carries only key, dtype, shape and the raw
+    C-contiguous array bytes — no dict order, no strides, no flags.
+    Two dicts holding bit-identical arrays under the same keys encode to
+    the same bytes however they were built, which is what makes
+    :func:`canonical_hash` usable as a cache address.
+    """
+    parts: List[bytes] = [_CANON_HEAD.pack(CANON_MAGIC, len(buffers))]
+    for key in sorted(buffers):
+        a = np.ascontiguousarray(buffers[key])
+        kb = key.encode("utf-8")
+        db = a.dtype.str.encode("ascii")
+        parts.append(_CANON_ENTRY.pack(len(kb), len(db), a.ndim, a.nbytes))
+        parts.append(kb)
+        parts.append(db)
+        parts.append(struct.pack(f"<{a.ndim}q", *a.shape) if a.ndim else b"")
+        parts.append(a.tobytes())
+    return b"".join(parts)
+
+
+def bytes_to_buffers(data: bytes) -> Buffers:
+    """Decode a :func:`buffers_to_bytes` stream as zero-copy views.
+
+    The returned arrays are read-only views over ``data`` (no copy of
+    the payload bytes), so serving a cached mesh is a pointer hand-off,
+    not a reserialization.
+    """
+    view = memoryview(data)
+    if len(view) < _CANON_HEAD.size:
+        raise SerdeError("canonical stream truncated (no header)")
+    magic, n_entries = _CANON_HEAD.unpack_from(view, 0)
+    if magic != CANON_MAGIC:
+        raise SerdeError(
+            f"bad canonical stream magic {magic!r} (want {CANON_MAGIC!r})")
+    out: Buffers = {}
+    off = _CANON_HEAD.size
+    try:
+        for _ in range(n_entries):
+            klen, dlen, ndim, nbytes = _CANON_ENTRY.unpack_from(view, off)
+            off += _CANON_ENTRY.size
+            key = bytes(view[off:off + klen]).decode("utf-8")
+            off += klen
+            dtype = np.dtype(bytes(view[off:off + dlen]).decode("ascii"))
+            off += dlen
+            shape = struct.unpack_from(f"<{ndim}q", view, off)
+            off += 8 * ndim
+            count = nbytes // dtype.itemsize if dtype.itemsize else 0
+            a = np.frombuffer(view, dtype=dtype, count=count,
+                              offset=off).reshape(shape)
+            a.flags.writeable = False
+            out[key] = a
+            off += nbytes
+    except (struct.error, ValueError) as exc:
+        raise SerdeError(f"canonical stream truncated or corrupt: {exc}")
+    if off != len(view):
+        raise SerdeError(
+            f"canonical stream has {len(view) - off} trailing bytes")
+    return out
+
+
+def canonical_hash(buffers: Buffers) -> str:
+    """SHA-256 content address of a buffer dict (canonical encoding).
+
+    Invariant under dict key order and under serde pack -> unpack round
+    trips (those are bit-exact); different geometry/config bits give a
+    different address.  This is the mesh cache key.
+    """
+    h = hashlib.sha256()
+    h.update(_CANON_HEAD.pack(CANON_MAGIC, len(buffers)))
+    for key in sorted(buffers):
+        a = np.ascontiguousarray(buffers[key])
+        kb = key.encode("utf-8")
+        db = a.dtype.str.encode("ascii")
+        h.update(_CANON_ENTRY.pack(len(kb), len(db), a.ndim, a.nbytes))
+        h.update(kb)
+        h.update(db)
+        if a.ndim:
+            h.update(struct.pack(f"<{a.ndim}q", *a.shape))
+        h.update(a.tobytes())
+    return h.hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -494,3 +609,45 @@ def unpack_bl_config(buffers: Buffers):
     values["max_layers"] = int(values["max_layers"])
     return BoundaryLayerConfig(triangulation=_untext(buffers["triangulation"]),
                                **values)
+
+
+# ----------------------------------------------------------------------
+# MeshConfig (the push-button pipeline's full input, BL config nested)
+# ----------------------------------------------------------------------
+_MESH_FIELDS = (
+    "farfield_chords", "h0", "grading", "h_max_chords",
+    "nearbody_margin_chords", "target_subdomains", "quality_bound",
+    "max_steiner",
+)
+
+#: MeshConfig fields where ``None`` is legal; encoded as NaN (a float
+#: parameter can never legitimately be NaN, so the mapping is lossless).
+_MESH_OPTIONAL = ("h0", "h_max_chords")
+
+
+def pack_mesh_config(config) -> Buffers:
+    """Flatten a :class:`~repro.core.pipeline.MeshConfig` (BL nested).
+
+    Together with :func:`pack_pslg` this captures the *complete* input
+    of ``generate_mesh`` — which is why the service's cache key is a
+    canonical hash over exactly these buffers.
+    """
+    params = []
+    for name in _MESH_FIELDS:
+        value = getattr(config, name)
+        params.append(float("nan") if value is None else float(value))
+    out = {"params": np.asarray(params, dtype=np.float64)}
+    out.update(nest("bl.", pack_bl_config(config.bl)))
+    return out
+
+
+def unpack_mesh_config(buffers: Buffers):
+    from ..core.pipeline import MeshConfig
+
+    values = dict(zip(_MESH_FIELDS, (float(x) for x in buffers["params"])))
+    for name in _MESH_OPTIONAL:
+        if np.isnan(values[name]):
+            values[name] = None
+    values["target_subdomains"] = int(values["target_subdomains"])
+    values["max_steiner"] = int(values["max_steiner"])
+    return MeshConfig(bl=unpack_bl_config(unnest("bl.", buffers)), **values)
