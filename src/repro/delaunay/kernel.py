@@ -54,7 +54,6 @@ from __future__ import annotations
 
 import gc
 import math
-import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -72,6 +71,7 @@ from ..geometry.predicates import (
     orient2d,
 )
 from .mesh import TriMesh
+from ..runtime.counters import monotonic_ns
 
 __all__ = [
     "GHOST",
@@ -1843,7 +1843,7 @@ class Triangulation:
         no per-triangle Python loops); when every kernel vertex survives
         the point block is a read-only zero-copy view of kernel storage.
         """
-        t_start = time.perf_counter_ns()  # lint: disable=R5 -- finalize_ns counter source, absorbed by runtime.counters
+        t_start = monotonic_ns()
         arr = self._arr
         mask = None
         if keep_mask is not None:
@@ -1861,7 +1861,7 @@ class Triangulation:
         sarr = (np.asarray(sorted(segs), dtype=np.int32)
                 if segs else np.empty((0, 2), dtype=np.int32))
         mesh = TriMesh(pts, tarr, sarr)
-        self.stat_finalize_ns += time.perf_counter_ns() - t_start  # lint: disable=R5 -- finalize_ns counter source, absorbed by runtime.counters
+        self.stat_finalize_ns += monotonic_ns() - t_start
         return mesh
 
     # ------------------------------------------------------------------

@@ -5,13 +5,21 @@ break: exact-arithmetic escalation for geometric predicates (Section
 II.B), deterministic subdomain interfaces after decoupling (Section
 II.E), and data-race-free RMA-window work stealing (Section II.F).  The
 dynamic invariant tests (``tests/delaunay/test_invariants.py``) check
-*outputs*; this package checks *sources*: a custom AST pass that rejects
-code shapes which would let those invariants rot.
+*outputs*; this package checks *sources*: statement-level AST rules
+(R1–R7) plus a function-scope **CFG + dataflow engine**
+(:mod:`repro.lint.cfg`, :mod:`repro.lint.dataflow`) for path-sensitive
+properties — resource lifetimes across exception edges, epoch-fence
+dominance — that no single statement can witness (R8–R12).
 
 Usage::
 
-    python -m repro.lint src/ tests/            # human-readable
-    python -m repro.lint src/ --format=json     # machine-readable
+    python -m repro.lint src/ tests/             # human-readable
+    python -m repro.lint src/ --format=json      # machine-readable
+    python -m repro.lint src/ --format=sarif     # code-scanning upload
+    python -m repro.lint src/ --baseline lint-baseline.json
+
+Exit codes: 0 clean (or all findings baselined/warn), 1 error-severity
+findings, 2 usage error / unreadable input / internal lint crash.
 
 Findings are suppressed per line with a justified pragma::
 
@@ -20,8 +28,12 @@ Findings are suppressed per line with a justified pragma::
 A pragma without a one-line justification is itself a finding (``P0``),
 and a pragma that suppresses nothing is a finding (``P1``) — so the
 pragma inventory can never silently outgrow the code it excuses.
+Per-tree severity overrides
+(:data:`repro.lint.engine.DEFAULT_SEVERITY_MAP`) relax production-only
+rules for ``tests/`` and ``examples/``.
 
-The rule set (see :mod:`repro.lint.rules` for the full statements):
+The rule set (see :mod:`repro.lint.rules` and the ``rules_*`` modules
+for the full statements):
 
 ========  ==============================================================
 ``R1``    raw float determinant sign tests outside ``geometry/predicates``
@@ -30,6 +42,12 @@ The rule set (see :mod:`repro.lint.rules` for the full statements):
 ``R4``    iteration over ``set``/``frozenset`` in ``core``/``runtime``
 ``R5``    wall-clock reads outside ``runtime.counters``
 ``R6``    ``Window._data`` / comm exchange-box access outside the lock
+``R7``    per-element Python loops over mesh buffers in finalize/serde
+``R8``    shm/wire value leaked on some path (incl. exception edges)
+``R9``    blocking calls inside ``async def`` bodies
+``R10``   serde buffer-contract violations (dtype / key naming)
+``R11``   un-fenced pool-result reads; warm→bind / abort→shutdown order
+``R12``   unpaired counter samples (``shm_nbytes`` without ``shm_seconds``)
 ========  ==============================================================
 
 The static lockset rule ``R6`` is paired with a *runtime* sanitizer,
@@ -38,7 +56,9 @@ instruments :class:`repro.runtime.rma.Window` and
 :class:`repro.runtime.comm.ThreadComm` when ``REPRO_SANITIZE=1``.
 """
 
-from .engine import Finding, LintRunner, RULESET_VERSION, run_lint
+from .engine import (Finding, LintRunner, RULESET_VERSION, run_lint,
+                     DEFAULT_SEVERITY_MAP, load_baseline, write_baseline,
+                     apply_baseline)
 from .rules import ALL_RULES, rule_ids
 
 __all__ = [
@@ -46,6 +66,10 @@ __all__ = [
     "Finding",
     "LintRunner",
     "RULESET_VERSION",
+    "DEFAULT_SEVERITY_MAP",
     "rule_ids",
     "run_lint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
 ]

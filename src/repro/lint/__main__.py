@@ -1,16 +1,21 @@
-"""CLI: ``python -m repro.lint src/ tests/ [--format=json]``.
+"""CLI: ``python -m repro.lint src/ tests/ [--format=sarif]``.
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+Exit codes: 0 = clean (or all findings baselined / warn-severity),
+1 = error-severity findings, 2 = usage error, internal lint crash, or
+unreadable/unparseable input (E9) — CI treats 1 as "fix your change"
+and 2 as "fix the linter".
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from .engine import LintRunner, format_json
-from .rules import ALL_RULES
+from .engine import (LintRunner, apply_baseline, format_json, load_baseline,
+                     write_baseline)
+from .rules import ALL_RULES, rule_ids
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -21,9 +26,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
     p.add_argument("--select", metavar="RULES",
                    help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="suppress findings recorded in this baseline file "
+                   "(exit 0 unless new error-severity findings appear)")
+    p.add_argument("--write-baseline", metavar="FILE",
+                   help="record current error-severity findings as the "
+                   "baseline and exit 0")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule set and exit")
     return p
@@ -52,17 +64,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("no paths given", file=sys.stderr)
         return 2
 
-    runner = LintRunner(rules)
+    # The pragma catalog stays the full rule set even under --select, so
+    # excuses for unselected rules aren't misread as unknown ids.
+    runner = LintRunner(rules, catalog=rule_ids())
     findings, n_files = runner.run(args.paths)
+
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), findings)
+        print(f"baseline written: {args.write_baseline} "
+              f"({len(findings)} finding(s))")
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        findings, suppressed = apply_baseline(
+            findings, load_baseline(Path(args.baseline)))
 
     if args.format == "json":
         print(format_json(findings, n_files, rules))
+    elif args.format == "sarif":
+        from .sarif import format_sarif
+        print(format_sarif(findings, rules))
     else:
         for f in findings:
             print(f.format_text())
         tail = f"{len(findings)} finding(s) in {n_files} file(s)"
-        print(tail if findings else f"clean: 0 findings in {n_files} file(s)")
-    return 1 if findings else 0
+        if suppressed:
+            tail += f" ({suppressed} baselined)"
+        print(tail if findings else
+              f"clean: 0 findings in {n_files} file(s)"
+              + (f" ({suppressed} baselined)" if suppressed else ""))
+
+    if any(f.rule == "E9" for f in findings):
+        return 2
+    return 1 if any(f.severity == "error" for f in findings) else 0
 
 
 if __name__ == "__main__":

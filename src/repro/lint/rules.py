@@ -16,7 +16,9 @@ from .engine import FileContext, Finding
 
 __all__ = ["Rule", "ALL_RULES", "rule_ids",
            "DetSignRule", "FloatEqRule", "RngRule", "SetIterRule",
-           "WallClockRule", "LocksetRule", "BufferCopyRule"]
+           "WallClockRule", "LocksetRule", "BufferCopyRule",
+           "ShmLifetimeRule", "AsyncBlockingRule", "SerdeContractRule",
+           "EpochFenceRule", "CounterPairRule"]
 
 
 class Rule:
@@ -578,6 +580,16 @@ class BufferCopyRule(Rule):
         return findings
 
 
+# The dataflow rules live in their own modules (they import ``Rule``
+# and the shared helpers from here, so the import must come after those
+# definitions — the modules see this module partially initialised, which
+# is fine for the names they need).
+from .rules_lifetime import ShmLifetimeRule  # noqa: E402
+from .rules_async import AsyncBlockingRule  # noqa: E402
+from .rules_serde import SerdeContractRule  # noqa: E402
+from .rules_epoch import EpochFenceRule  # noqa: E402
+from .rules_counters import CounterPairRule  # noqa: E402
+
 ALL_RULES: Sequence[Rule] = (
     DetSignRule(),
     FloatEqRule(),
@@ -586,6 +598,11 @@ ALL_RULES: Sequence[Rule] = (
     WallClockRule(),
     LocksetRule(),
     BufferCopyRule(),
+    ShmLifetimeRule(),
+    AsyncBlockingRule(),
+    SerdeContractRule(),
+    EpochFenceRule(),
+    CounterPairRule(),
 )
 
 

@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 output for CI code-scanning upload.
+
+Emits the minimal static-analysis interchange document GitHub's
+``upload-sarif`` action accepts: one run, one driver, one rule entry
+per rule in the active set (id, short description, the invariant as
+full description), one result per finding with a physical location.
+Severity maps ``error``→``error`` and anything else→``warning``; the
+engine's pragma/crash diagnostics (P0/P1/E9) ride along as ordinary
+rules so they annotate pull requests too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .engine import Finding, RULESET_VERSION
+
+__all__ = ["format_sarif"]
+
+_META_RULES = (
+    ("P0", "pragma without justification or naming an unknown rule"),
+    ("P1", "stale pragma suppressing nothing"),
+    ("E9", "unreadable/unparseable file or internal lint error"),
+)
+
+
+def format_sarif(findings: Sequence[Finding], rules: Sequence) -> str:
+    rule_entries: List[Dict[str, object]] = []
+    index: Dict[str, int] = {}
+    for r in rules:
+        index[r.id] = len(rule_entries)
+        rule_entries.append({
+            "id": r.id,
+            "shortDescription": {"text": r.title},
+            "fullDescription": {"text": r.invariant or r.title},
+            "helpUri": "https://example.invalid/repro-lint#" + r.id.lower(),
+        })
+    for rid, title in _META_RULES:
+        if rid not in index:
+            index[rid] = len(rule_entries)
+            rule_entries.append({
+                "id": rid,
+                "shortDescription": {"text": title},
+            })
+
+    results: List[Dict[str, object]] = []
+    for f in findings:
+        result: Dict[str, object] = {
+            "ruleId": f.rule,
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+        }
+        if f.rule in index:
+            result["ruleIndex"] = index[f.rule]
+        results.append(result)
+
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "version": RULESET_VERSION,
+                    "informationUri": "https://example.invalid/repro-lint",
+                    "rules": rule_entries,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2)

@@ -16,6 +16,7 @@ the reply frame arrives); open one client per thread for concurrency.
 from __future__ import annotations
 
 import socket
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -83,8 +84,6 @@ class ServiceClient:
         self._connect(connect_retries, retry_delay)
 
     def _connect(self, retries: int, delay: float) -> None:
-        import time
-
         kind, where = self.address
         last: Optional[Exception] = None
         for _attempt in range(retries + 1):

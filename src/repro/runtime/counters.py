@@ -41,6 +41,7 @@ __all__ = [
     "phase",
     "timed",
     "monotonic",
+    "monotonic_ns",
 ]
 
 
@@ -54,6 +55,17 @@ def monotonic() -> float:
     :func:`phase`; this helper is for liveness decisions only.
     """
     return time.monotonic()
+
+
+def monotonic_ns() -> int:
+    """Integer-nanosecond sibling of :func:`monotonic` (lint rule R5).
+
+    Hot kernels accumulate per-phase budgets in integer nanoseconds to
+    avoid float rounding across millions of samples; they read the
+    clock here for the same reason scheduling code uses
+    :func:`monotonic` — one auditable wall-clock funnel.
+    """
+    return time.monotonic_ns()
 
 
 class Histogram:

@@ -59,7 +59,8 @@ import os
 import queue as queue_mod
 import traceback
 import weakref
-from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence
+from typing import (Any, Callable, Dict, List, Optional, Protocol, Sequence,
+                    Tuple)
 
 from ..lint import tsan
 from . import counters as counters_mod
@@ -519,7 +520,8 @@ def _resolve_portable_fn(module: str, qualname: str) -> Callable:
     return obj
 
 
-def _pool_worker_main(rank: int, inbox, result_q) -> None:
+def _pool_worker_main(rank: int, inbox, result_q,
+                      close_fds: Sequence[int] = ()) -> None:
     """Persistent pool worker: serve tasks until told to stop.
 
     Protocol (pipe in, queue out)::
@@ -534,7 +536,17 @@ def _pool_worker_main(rank: int, inbox, result_q) -> None:
     raising is an *item* error — reported and survived, the worker
     keeps serving.  Both payloads and results travel as serde wire
     envelopes (inline or shared-memory, by size).
+
+    ``close_fds`` names parent fds this fork must not keep — above all
+    a daemon's listening socket: a worker respawned *after* the socket
+    was bound inherits its fd, and the duplicate would keep the
+    endpoint half-alive after the daemon exits.
     """
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass  # already gone in this fork; nothing inherited
     fn_cache: Dict[tuple, Callable] = {}
     while True:
         try:
@@ -564,9 +576,15 @@ def _pool_worker_main(rank: int, inbox, result_q) -> None:
                 nbytes = (serde.buffers_nbytes(payload)
                           + serde.buffers_nbytes(result))
                 out_wire = serde.buffers_to_wire(result)
-            snapshot = sink.snapshot() if sink is not None else None
-            result_q.put(("ok", rank, epoch, idx, out_wire, snapshot,
-                          monotonic() - t0, nbytes))
+            try:
+                snapshot = sink.snapshot() if sink is not None else None
+                result_q.put(("ok", rank, epoch, idx, out_wire, snapshot,
+                              monotonic() - t0, nbytes))
+            except BaseException:
+                # The envelope never made it onto the queue: free its
+                # shm segment before reporting, or it outlives us.
+                serde.discard_wire(out_wire)
+                raise
         except BaseException:  # noqa: BLE001 - shipped to the parent
             result_q.put(("item_err", rank, epoch, idx,
                           traceback.format_exc()))
@@ -636,6 +654,10 @@ class WorkerPool:
         self._call: Optional["PoolStream"] = None
         self.closed = False
         self.stats = {"forks": 0, "respawns": 0, "reaped": 0, "calls": 0}
+        #: parent fds every (re)spawned worker closes at startup —
+        #: daemons register their listening sockets here so a worker
+        #: forked mid-request never inherits them.
+        self.exclude_fds: Tuple[int, ...] = ()
 
     # -- worker lifecycle ----------------------------------------------
     def n_workers(self) -> int:
@@ -646,7 +668,8 @@ class WorkerPool:
         rank = self._next_rank
         self._next_rank += 1
         proc = self._ctx.Process(
-            target=_pool_worker_main, args=(rank, recv, self._result_q),
+            target=_pool_worker_main,
+            args=(rank, recv, self._result_q, self.exclude_fds),
             daemon=True, name=f"repro-pool-{rank}")
         proc.start()
         recv.close()  # the parent keeps only the send end
@@ -1053,6 +1076,7 @@ class ProcessesBackend:
         self._persistent = persistent
         self._ttl = ttl
         self._pool: Optional[WorkerPool] = None
+        self._exclude_fds: Tuple[int, ...] = ()
 
     def _context(self):
         import multiprocessing as mp
@@ -1091,6 +1115,7 @@ class ProcessesBackend:
             _POOLS.add(self._pool)
         else:
             self._pool.ttl = self.pool_ttl()
+        self._pool.exclude_fds = self._exclude_fds
         return self._pool
 
     def warm_pool(self, n_ranks: int = 4) -> int:
@@ -1109,6 +1134,21 @@ class ProcessesBackend:
         while pool.n_workers() < n_ranks:
             pool._spawn()
         return pool.n_workers()
+
+    def exclude_fds_from_workers(self, fds) -> None:
+        """Register parent fds that workers must close at startup.
+
+        Warming before bind keeps the *initial* workers clean, but a
+        worker respawned after the daemon's listening socket exists
+        forks with that fd open.  Registering it here makes every
+        future (re)spawn close it immediately, so a stuck accept()
+        cannot be wedged open by a forgotten duplicate.  Pass an empty
+        list to deregister (e.g. right before the socket fd is closed
+        and its number becomes reusable).
+        """
+        self._exclude_fds = tuple(int(fd) for fd in fds)
+        if self._pool is not None and not self._pool.closed:
+            self._pool.exclude_fds = self._exclude_fds
 
     def shutdown_pool(self) -> None:
         """Stop the persistent workers now (the next call re-forks)."""

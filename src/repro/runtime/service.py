@@ -69,6 +69,7 @@ __all__ = [
     "read_frame",
     "parse_address",
     "percentile",
+    "offload",
     "MeshCache",
     "MeshService",
     "ServiceThread",
@@ -122,6 +123,26 @@ async def read_frame(reader: asyncio.StreamReader) -> Tuple[str, bytes]:
     kind = (await reader.readexactly(klen)).decode("ascii")
     payload = await reader.readexactly(plen) if plen else b""
     return kind, payload
+
+
+# ----------------------------------------------------------------------
+# Event-loop hygiene
+# ----------------------------------------------------------------------
+async def offload(fn: Callable, *args):
+    """Run a blocking callable on the loop's default thread pool.
+
+    The sanctioned escape hatch for anything that would stall the event
+    loop (pool warmup/shutdown, batch dispatch, filesystem calls): the
+    callable is passed by reference, never invoked in the coroutine
+    (lint rule R9 enforces exactly this shape).
+    """
+    return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+
+
+def _remove_socket_file(path: str) -> None:
+    """Unlink a unix-socket path if present (stale daemon, or teardown)."""
+    if os.path.exists(path):
+        os.unlink(path)
 
 
 # ----------------------------------------------------------------------
@@ -306,18 +327,22 @@ class MeshService:
         # exits (also moves the fork cost out of the first request).
         warm = getattr(self._backend, "warm_pool", None)
         if warm is not None:
-            await asyncio.get_running_loop().run_in_executor(
-                None, warm, self.n_ranks)
+            await offload(warm, self.n_ranks)
         kind, where = self.address
         if kind == "unix":
-            if os.path.exists(where):  # stale socket from a dead daemon
-                os.unlink(where)
+            await offload(_remove_socket_file, where)
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=where)
         else:
             host, port = where
             self._server = await asyncio.start_server(
                 self._handle_connection, host=host, port=port)
+        # Workers respawned from here on fork with the listening socket
+        # open; register its fd so they close it at startup instead of
+        # keeping a duplicate accept() endpoint alive.
+        exclude = getattr(self._backend, "exclude_fds_from_workers", None)
+        if exclude is not None and self._server is not None:
+            exclude([s.fileno() for s in self._server.sockets])
         self._batcher = asyncio.get_running_loop().create_task(
             self._batch_loop())
         self._started = True
@@ -383,17 +408,21 @@ class MeshService:
         # (re)forked while a connection was open holds a duplicate of
         # its fd, and the handler can't see the client's EOF until
         # every duplicate is closed.
+        # The listening fd is closed now and its number is about to be
+        # reusable — deregister it before any future pool respawn.
+        exclude = getattr(self._backend, "exclude_fds_from_workers", None)
+        if exclude is not None:
+            exclude([])
         shutdown_pool = getattr(self._backend, "shutdown_pool", None)
         if shutdown_pool is not None:
-            await asyncio.get_running_loop().run_in_executor(
-                None, shutdown_pool)
+            await offload(shutdown_pool)
         # Let connection handlers flush their final ok/err frames.
         live = [t for t in list(self._conns.values()) if not t.done()]
         if live:
             await asyncio.wait(live, timeout=10.0)
         kind, where = self.address
-        if kind == "unix" and os.path.exists(where):
-            os.unlink(where)
+        if kind == "unix":
+            await offload(_remove_socket_file, where)
         assert self._done_event is not None
         self._done_event.set()
 
@@ -583,8 +612,7 @@ class MeshService:
                         n_ranks=self.n_ranks)
 
         try:
-            results = await asyncio.get_running_loop().run_in_executor(
-                None, run)
+            results = await offload(run)
         except BaseException as exc:  # noqa: BLE001 - forwarded to clients
             err = exc if isinstance(exc, (ServiceError,
                                           executor.ExecutorError)) \
