@@ -31,6 +31,7 @@ import numpy as np
 
 from .core.bl_pipeline import BoundaryLayerConfig
 from .core.pipeline import MeshConfig, generate_mesh
+from .delaunay import cavity as insertion
 from .geometry.airfoils import naca4, three_element_airfoil
 from .geometry.pslg import PSLG
 from .io.meshio import read_poly, write_mesh_ascii, write_mesh_npz
@@ -91,6 +92,12 @@ def _add_backend_argument(p: argparse.ArgumentParser) -> None:
                    help="refinement executor (default: $REPRO_BACKEND or "
                    "local); 'threads' models the paper's MPI ranks but is "
                    "GIL-bound, 'processes' runs GIL-free workers")
+    p.add_argument("--insert-strategy",
+                   choices=insertion.available_strategies(), default=None,
+                   help="Delaunay cavity-engine insertion strategy "
+                   "(default: $REPRO_INSERT or scalar); 'batch' bins "
+                   "BRIO rounds and inserts independent cavity sets "
+                   "through vectorised predicates")
 
 
 def _add_address_arguments(p: argparse.ArgumentParser) -> None:
@@ -280,6 +287,11 @@ def _serve_main(argv) -> int:
         parser.error(
             f"--ranks only applies to parallel backends; --backend "
             f"{backend} runs in-process")
+    if args.insert_strategy is not None:
+        # Exported before the pool forks so every worker triangulates
+        # with the requested strategy.
+        os.environ[insertion.INSERT_ENV] = insertion.canonical_strategy_name(
+            args.insert_strategy)
     service = MeshService(
         _service_address(args),
         backend=backend,
@@ -402,6 +414,7 @@ def main(argv=None) -> int:
     if args.pool_ttl is not None:
         os.environ[executor.POOL_TTL_ENV] = repr(float(args.pool_ttl))
     n_ranks = args.ranks if args.ranks is not None else 4
+    insert_strategy = insertion.resolve_strategy_name(args.insert_strategy)
     pslg = _load_geometry(args)
     config = _config_from_args(args)
     if args.sanitize and not tsan.enabled():
@@ -416,12 +429,14 @@ def main(argv=None) -> int:
             with use_counters() as profile_sink:
                 result = generate_mesh(pslg, config, backend=backend,
                                        n_ranks=n_ranks,
-                                       stream=not args.no_stream)
+                                       stream=not args.no_stream,
+                                       insert_strategy=insert_strategy)
         else:
             profile_sink = None
             result = generate_mesh(pslg, config, backend=backend,
                                    n_ranks=n_ranks,
-                                   stream=not args.no_stream)
+                                   stream=not args.no_stream,
+                                   insert_strategy=insert_strategy)
     elapsed = tm.elapsed
 
     written = _write_mesh_outputs(args, result.mesh)
@@ -435,6 +450,7 @@ def main(argv=None) -> int:
 
     summary = {
         "backend": canonical,
+        "insert_strategy": insert_strategy,
         "n_ranks": n_ranks,
         "stream": not args.no_stream,
         "warm_pool": bool(getattr(backend_impl, "pool_enabled", False)),

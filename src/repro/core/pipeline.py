@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..delaunay.cavity import INSERT_ENV, resolve_strategy_name
 from ..delaunay.mesh import TriMesh, merge_meshes
 from ..delaunay.refine import RUPPERT_BOUND
 from ..geometry.aabb import AABB
@@ -105,7 +106,8 @@ class MeshResult:
     inviscid_meshes: List[TriMesh]
     subdomains: List[DecoupledSubdomain]
     timings: Dict[str, float]
-    stats: Dict[str, float]
+    #: numeric run statistics plus the resolved ``insert_strategy`` name.
+    stats: Dict[str, object]
 
 
 def _median_spacing(border: np.ndarray) -> float:
@@ -121,6 +123,7 @@ def generate_mesh(
     backend: Optional[str] = None,
     n_ranks: int = 4,
     stream: Optional[bool] = None,
+    insert_strategy: Optional[str] = None,
 ) -> MeshResult:
     """Generate the full hybrid mesh for ``pslg`` (all body loops).
 
@@ -137,7 +140,38 @@ def generate_mesh(
     still splitting — the paper's overlap of decomposition with
     refinement.  Submission order equals the barriered payload order,
     so the merged mesh is byte-identical either way.
+
+    ``insert_strategy`` picks the Delaunay cavity-engine insertion
+    strategy (any name from
+    :func:`repro.delaunay.available_strategies`); ``None`` falls back
+    to ``REPRO_INSERT``, then ``scalar``.  An explicit choice is
+    exported through the environment for the duration of the run so
+    worker processes triangulate with the same strategy.
     """
+    strategy = resolve_strategy_name(insert_strategy)
+    if insert_strategy is None:
+        return _generate_mesh_impl(pslg, config, backend, n_ranks, stream,
+                                   strategy)
+    prev = os.environ.get(INSERT_ENV)
+    os.environ[INSERT_ENV] = strategy
+    try:
+        return _generate_mesh_impl(pslg, config, backend, n_ranks, stream,
+                                   strategy)
+    finally:
+        if prev is None:
+            os.environ.pop(INSERT_ENV, None)
+        else:
+            os.environ[INSERT_ENV] = prev
+
+
+def _generate_mesh_impl(
+    pslg: PSLG,
+    config: Optional[MeshConfig],
+    backend: Optional[str],
+    n_ranks: int,
+    stream: Optional[bool],
+    insert_strategy: str,
+) -> MeshResult:
     config = config or MeshConfig()
     backend_impl = executor.get_backend(
         executor.resolve_backend_name(backend))
@@ -256,6 +290,7 @@ def generate_mesh(
         "n_subdomains": float(len(work)),
         "h0": h0,
         "chord": chord,
+        "insert_strategy": insert_strategy,
         **{f"bl_{k}": v for k, v in bl.stats.items()},
     }
     return MeshResult(

@@ -4,6 +4,14 @@ This package is the repository's from-scratch replacement for Shewchuk's
 Triangle (see DESIGN.md, substitutions table).
 """
 
+from .cavity import (
+    INSERT_ENV,
+    InsertionStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    resolve_strategy_name,
+)
 from .constrained import constrained_delaunay, insert_segment, triangulate_pslg, carve
 from .dnc import insertion_order, triangulate_ordered
 from .hull import convex_hull, lower_hull, lower_hull_sorted, upper_hull
@@ -20,6 +28,8 @@ from .smooth import ValidationReport, laplacian_smooth, validate_mesh
 
 __all__ = [
     "GHOST",
+    "INSERT_ENV",
+    "InsertionStrategy",
     "RUPPERT_BOUND",
     "RefinementError",
     "Refiner",
@@ -27,7 +37,11 @@ __all__ = [
     "Triangulation",
     "TriangulationError",
     "ValidationReport",
+    "available_strategies",
+    "get_strategy",
     "laplacian_smooth",
+    "register_strategy",
+    "resolve_strategy_name",
     "validate_mesh",
     "carve",
     "constrained_delaunay",

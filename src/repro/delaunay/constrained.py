@@ -23,6 +23,12 @@ import numpy as np
 
 from ..geometry.predicates import incircle, orient2d
 from ..runtime.counters import current as counters_current
+from .cavity import (
+    brio_order,
+    find_directed_edge,
+    get_strategy,
+    resolve_strategy_name,
+)
 from .kernel import GHOST, Triangulation, TriangulationError
 from .mesh import TriMesh
 
@@ -32,17 +38,6 @@ __all__ = [
     "carve",
     "constrained_delaunay",
 ]
-
-
-def _find_directed_edge(tri: Triangulation, u: int, v: int
-                        ) -> Optional[Tuple[int, int]]:
-    """Locate (triangle, edge-index) holding the directed edge ``(u, v)``."""
-    for t in tri.triangles_around_vertex(u):
-        tv = tri.tri_v[t]
-        for k in range(3):
-            if tv[(k + 1) % 3] == u and tv[(k + 2) % 3] == v:
-                return t, k
-    return None
 
 
 def _first_obstruction(tri: Triangulation, a: int, b: int):
@@ -166,7 +161,7 @@ def _recover_by_flips(tri: Triangulation, a: int, b: int,
     crossing.append(first_edge)
     p, q = first_edge
     # The triangle on a's side is (a, p, q), which owns directed edge (p, q).
-    loc = _find_directed_edge(tri, p, q)
+    loc = find_directed_edge(tri, p, q)
     if loc is None:
         raise TriangulationError("crossing edge not found")
     t, k = loc
@@ -216,7 +211,7 @@ def _recover_by_flips(tri: Triangulation, a: int, b: int,
         if guard > 1000 * (len(crossing) + 10) + 100_000:
             raise TriangulationError("flip recovery did not terminate")
         p, q = crossing.popleft()
-        loc = _find_directed_edge(tri, p, q)
+        loc = find_directed_edge(tri, p, q)
         if loc is None:
             continue  # edge already flipped away
         if not _edge_crosses(tri, p, q, a, b):
@@ -256,7 +251,7 @@ def _legalize_edges(tri: Triangulation, edges: Sequence[Tuple[int, int]],
         key = (u, v) if u < v else (v, u)
         if key in tri.constraints:
             continue
-        loc = _find_directed_edge(tri, u, v)
+        loc = find_directed_edge(tri, u, v)
         if loc is None:
             continue
         t1, k1 = loc
@@ -276,20 +271,25 @@ def _legalize_edges(tri: Triangulation, edges: Sequence[Tuple[int, int]],
 
 
 def triangulate_pslg(points: np.ndarray, segments: np.ndarray,
-                     *, assume_sorted: bool = False) -> Triangulation:
-    """Insert all PSLG points, then recover and lock every segment."""
+                     *, assume_sorted: bool = False,
+                     strategy: Optional[str] = None) -> Triangulation:
+    """Insert all PSLG points, then recover and lock every segment.
+
+    Point insertion goes through the cavity-engine strategy registry
+    (``strategy`` / ``REPRO_INSERT``); segment recovery is always
+    sequential.  No constraints exist during the bulk phase, so the
+    batched strategy is safe here.
+    """
     points = np.asarray(points, dtype=np.float64)
     segments = np.asarray(segments, dtype=np.int64)
     tri = Triangulation()
     if assume_sorted:
         order = np.arange(len(points))
     else:
-        from .kernel import _brio_order
-
-        order = _brio_order(points, seed=0xFACADE)
-    kernel_id: Dict[int, int] = {}
-    for i in order:
-        kernel_id[int(i)] = tri.insert_point(points[i, 0], points[i, 1])
+        order = brio_order(points, seed=0xFACADE)
+    name = resolve_strategy_name(strategy)
+    kernel_id: Dict[int, int] = get_strategy(name).insert_points(
+        tri, points, order)
     for u, v in segments:
         ku, kv = kernel_id[int(u)], kernel_id[int(v)]
         for su, sv in insert_segment(tri, ku, kv):
@@ -352,8 +352,10 @@ def carve(tri: Triangulation, holes: Sequence[Tuple[float, float]] = ()
 
 def constrained_delaunay(points: np.ndarray, segments: np.ndarray,
                          holes: Sequence[Tuple[float, float]] = (),
-                         *, assume_sorted: bool = False) -> TriMesh:
+                         *, assume_sorted: bool = False,
+                         strategy: Optional[str] = None) -> TriMesh:
     """One-call CDT of a PSLG with exterior/hole carving."""
-    tri = triangulate_pslg(points, segments, assume_sorted=assume_sorted)
+    tri = triangulate_pslg(points, segments, assume_sorted=assume_sorted,
+                           strategy=strategy)
     mask = carve(tri, holes)
     return tri.to_mesh(keep_mask=mask)

@@ -52,7 +52,6 @@ consumers and tests.
 
 from __future__ import annotations
 
-import gc
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -60,16 +59,35 @@ import numpy as np
 
 from .arrays import DEAD, MeshArrays
 
-from ..geometry.predicates import (
-    INCIRCLE_ERR_BOUND,
-    INCIRCLE_UNDERFLOW_GUARD,
-    ORIENT_ERR_BOUND,
-    ORIENT_UNDERFLOW_GUARD,
-    batch_exact_counts,
-    incircle,
-    incircle_batch,
-    orient2d,
+# The cavity module owns the shared geometric constants and every
+# insertion-path operation; the kernel class keeps the bookkeeping
+# (slots, adjacency, constraints, stats) and delegates to it.
+from .cavity import (
+    GHOST,
+    TriangulationError,
+    _CCW_ERR,
+    _CCW_GUARD,
+    _GRID_EMA_THRESHOLD,
+    _GRID_MIN_POINTS,
+    _ICC_ERR,
+    _ICC_GUARD,
+    _NXT,
+    _PRV,
+    brio_order,
+    carve_cavity_fast,
+    carve_cavity_ref,
+    expand_level_batch,
+    get_strategy,
+    insert_point_fast,
+    locate_fallback,
+    locate_fast,
+    locate_ref,
+    prune_cavity_visibility,
+    resolve_strategy_name,
+    retriangulate,
+    walk_start,
 )
+from ..geometry.predicates import incircle, orient2d
 from .mesh import TriMesh
 from ..runtime.counters import monotonic_ns
 
@@ -80,43 +98,6 @@ __all__ = [
     "delaunay_mesh",
     "triangulate",
 ]
-
-GHOST = -1
-
-# Negative-index translation tables for flat triangle rows: with a list
-# ``tv``, ``tv[k - 2] == tv[_NXT[k]]`` and ``tv[k - 1] == tv[_PRV[k]]``.
-_NXT = (1, 2, 0)
-_PRV = (2, 0, 1)
-
-# Hot-loop local aliases for the filter bounds (module constants resolve
-# faster than attribute lookups and keep the loops readable).
-_CCW_ERR = ORIENT_ERR_BOUND
-_ICC_ERR = INCIRCLE_ERR_BOUND
-_CCW_GUARD = ORIENT_UNDERFLOW_GUARD
-_ICC_GUARD = INCIRCLE_UNDERFLOW_GUARD
-
-#: Frontier size at which cavity expansion switches from the inlined
-#: scalar filter to one vectorised ``incircle_batch`` call per level.
-_BATCH_MIN = 12
-#: Cheap first-stage incircle certificate: with ``S = alift+blift+clift``
-#: the Shewchuk permanent obeys ``permanent <= S*S/3`` (AM-GM on the six
-#: products), so ``|det| > _ICC_CHEAP * S * S`` certifies the sign with
-#: strictly more slack than the full filter — and needs no abs() chain.
-_ICC_CHEAP = INCIRCLE_ERR_BOUND / 3.0
-#: ``S*S`` must stay clear of underflow for the cheap bound to be sound.
-_ICC_S_GUARD = 1e-125
-#: Walk-length EMA above which the vertex grid is built (cold insertion
-#: orders; BRIO-local insertion stays well below this).
-_GRID_EMA_THRESHOLD = 16.0
-#: Once built, the grid seeds walks only while the EMA stays above this
-#: (hysteresis: when locality returns, ``_last_tri`` is cheaper).
-_GRID_EMA_USE = 6.0
-#: Minimum vertex count before a grid is worth building.
-_GRID_MIN_POINTS = 128
-
-
-class TriangulationError(RuntimeError):
-    """Raised for structurally invalid kernel operations."""
 
 
 class _PointsView:
@@ -304,6 +285,8 @@ class Triangulation:
         self.stat_incircle_exact = 0
         self.stat_batch_calls = 0
         self.stat_batch_entries = 0
+        self.stat_batch_points = 0
+        self.stat_conflict_retries = 0
         self.stat_walk_hist = [0] * 32
         self.stat_cavity_hist = [0] * 32
         self.stat_finalize_ns = 0
@@ -421,6 +404,8 @@ class Triangulation:
             "incircle_exact": self.stat_incircle_exact,
             "batch_calls": self.stat_batch_calls,
             "batch_entries": self.stat_batch_entries,
+            "batch_points": self.stat_batch_points,
+            "conflict_retries": self.stat_conflict_retries,
             "finalize_ns": self.stat_finalize_ns,
             "exact_escalation_rate": (exact / total) if total else 0.0,
             "walk_hist": list(self.stat_walk_hist),
@@ -614,187 +599,19 @@ class Triangulation:
         return self._locate_ref(p, hint)
 
     def _walk_start(self, px: float, py: float, hint: int) -> int:
-        arr = self._arr
-        tvm = arr.tv
-        t = (hint if 0 <= hint < arr.n_tris and tvm[3 * hint] != DEAD
-             else -1)
-        if t < 0:
-            if self._grid is not None and self._walk_ema > _GRID_EMA_USE:
-                t = self._grid_start(px, py)
-            if t < 0:
-                t = self._last_tri
-            if t < 0 or tvm[3 * t] == DEAD:
-                t = next(iter(self.live_triangles()))
-        if self.is_ghost(t):
-            # step into the real triangle across the hull edge
-            u, v = self.ghost_edge(t)
-            k = self._edge_index(t, u, v)
-            nb = arr.tn[3 * t + k]
-            t = nb if nb >= 0 else t
-        return t
+        return walk_start(self, px, py, hint)
 
     def _locate_ref(self, p: Tuple[float, float], hint: int) -> int:
         """Scalar-predicate walk (the reference / seed hot path)."""
-        t = self._walk_start(p[0], p[1], hint)
-        max_steps = 4 * (self.n_live_triangles + 8)
-        steps = 0
-        prev = -1
-        while steps < max_steps:
-            steps += 1
-            if self.is_ghost(t):
-                # Walked off the hull; check this ghost's half-plane.
-                u, v = self.ghost_edge(t)
-                if orient2d(self.pts[u], self.pts[v], p) >= 0:
-                    self._last_tri = t
-                    self._note_walk(steps)
-                    return t
-                # p visible from a different hull edge: walk along the hull.
-                # Move to the next ghost sharing vertex v or u.
-                tv = self.tri_v[t]
-                g = tv.index(GHOST)
-                nxt = self.tri_n[t][g - 2]  # neighbour across (v, G)
-                if nxt == prev:
-                    nxt = self.tri_n[t][g - 1]
-                prev, t = t, nxt
-                continue
-            moved = False
-            # Cheap pseudo-random starting edge (an LCG step) breaks the
-            # degenerate walk cycles a fixed order could orbit, without
-            # the cost of a real shuffle on every step.
-            self._lcg = (self._lcg * 1103515245 + 12345) & 0x7FFFFFFF
-            k0 = self._lcg % 3
-            for dk in range(3):
-                k = (k0 + dk) % 3
-                u, v = self._edge(t, k)
-                if self.tri_n[t][k] == prev:
-                    continue
-                if orient2d(self.pts[u], self.pts[v], p) < 0:
-                    prev, t = t, self.tri_n[t][k]
-                    moved = True
-                    break
-            if not moved:
-                self._last_tri = t
-                self._note_walk(steps)
-                return t
-        self._note_walk(steps)
-        return self._locate_fallback(p)
+        return locate_ref(self, p, hint)
 
     def _locate_fast(self, p: Tuple[float, float], hint: int) -> int:
         """Walk with the orientation filter inlined (exact escalation)."""
-        px, py = p
-        t = self._walk_start(px, py, hint)
-        arr = self._arr
-        tvm = arr.tv
-        tnm = arr.tn
-        pxm = arr.px
-        max_steps = 4 * (self.n_live_triangles + 8)
-        steps = 0
-        prev = -1
-        lcg = self._lcg
-        n_fast = 0
-        result = -1
-        while steps < max_steps:
-            steps += 1
-            i3 = 3 * t
-            a0 = tvm[i3]
-            a1 = tvm[i3 + 1]
-            a2 = tvm[i3 + 2]
-            if a0 < 0 or a1 < 0 or a2 < 0:
-                # Ghost triangle: is p in (or on) its half-plane?
-                g = 0 if a0 < 0 else (1 if a1 < 0 else 2)
-                u = tvm[i3 + _NXT[g]]
-                v = tvm[i3 + _PRV[g]]
-                j = 2 * u
-                ux = pxm[j]
-                uy = pxm[j + 1]
-                j = 2 * v
-                vx = pxm[j]
-                vy = pxm[j + 1]
-                detleft = (ux - px) * (vy - py)
-                detright = (uy - py) * (vx - px)
-                det = detleft - detright
-                detsum = abs(detleft) + abs(detright)
-                if detsum > _CCW_GUARD and (
-                        det > _CCW_ERR * detsum or -det > _CCW_ERR * detsum):  # lint: disable=R1 -- inlined orient2d filter; inconclusive signs escalate below
-                    n_fast += 1
-                    inside = det > 0.0  # lint: disable=R1 -- sign certified by the filter on the line above
-                else:
-                    self.stat_orient_exact += 1
-                    inside = orient2d((ux, uy), (vx, vy), p) >= 0
-                if inside:
-                    result = t
-                    break
-                nxt = tnm[i3 + _NXT[g]]  # neighbour across (v, G)
-                if nxt == prev:
-                    nxt = tnm[i3 + _PRV[g]]
-                prev, t = t, nxt
-                continue
-            moved = False
-            lcg = (lcg * 1103515245 + 12345) & 0x7FFFFFFF
-            k0 = lcg % 3
-            for dk in range(3):
-                k = k0 + dk
-                if k > 2:
-                    k -= 3
-                nb = tnm[i3 + k]
-                if nb == prev:
-                    continue
-                u = tvm[i3 + _NXT[k]]
-                v = tvm[i3 + _PRV[k]]
-                j = 2 * u
-                ux = pxm[j]
-                uy = pxm[j + 1]
-                j = 2 * v
-                vx = pxm[j]
-                vy = pxm[j + 1]
-                detleft = (ux - px) * (vy - py)
-                detright = (uy - py) * (vx - px)
-                det = detleft - detright
-                detsum = abs(detleft) + abs(detright)
-                if detsum > _CCW_GUARD:
-                    errbound = _CCW_ERR * detsum
-                    if det > errbound:  # lint: disable=R1 -- inlined orient2d filter; shares ORIENT_ERR_BOUND, exact fallback below
-                        n_fast += 1
-                        continue          # p weakly left: not through here
-                    if -det > errbound:
-                        n_fast += 1
-                        prev, t = t, nb   # certified right of u->v: cross
-                        moved = True
-                        break
-                self.stat_orient_exact += 1
-                if orient2d((ux, uy), (vx, vy), p) < 0:
-                    prev, t = t, nb
-                    moved = True
-                    break
-            if not moved:
-                result = t
-                break
-        self._lcg = lcg
-        self.stat_orient_fast += n_fast
-        self._note_walk(steps)
-        if result >= 0:
-            self._last_tri = result
-            return result
-        return self._locate_fallback(p)
+        return locate_fast(self, p, hint)
 
     def _locate_fallback(self, p: Tuple[float, float]) -> int:
         """Exhaustive exact containment scan (adversarial degeneracies)."""
-        self.stat_brute_locates += 1
-        for t in self.live_triangles():
-            if self.is_ghost(t):
-                continue
-            tv = self.tri_v[t]
-            if all(
-                orient2d(self.pts[tv[k - 2]], self.pts[tv[k - 1]], p) >= 0
-                for k in range(3)
-            ):
-                self._last_tri = t
-                return t
-        for t in self.live_triangles():
-            if self.is_ghost(t) and self._in_disk(t, p):
-                self._last_tri = t
-                return t
-        raise TriangulationError(f"point {p} could not be located")
+        return locate_fallback(self, p)
 
     def find_vertex_at(self, p: Tuple[float, float], t: int) -> Optional[int]:
         """Vertex of triangle ``t`` exactly coincident with ``p``, if any."""
@@ -847,327 +664,12 @@ class Triangulation:
         return vid
 
     def _insert_fast(self, px: float, py: float, hint: int) -> int:
-        """Fused fast-path insertion: walk, duplicate check, cavity carve
-        and retriangulation in one frame with every predicate's filter
-        stage inlined.
-
-        Decision-for-decision equivalent to ``locate`` +
-        ``find_vertex_at`` + ``_insert_into_cavity`` — certified filter
-        signs are exact signs, and inconclusive ones escalate to the
-        exact predicates.  Returns the new vertex id, or ``-2 - v`` when
-        the point duplicates existing vertex ``v``.
+        """Fused fast-path insertion (walk + duplicate check + carve +
+        retriangulate in one frame); see :func:`repro.delaunay.cavity.
+        insert_point_fast`.  Returns the new vertex id, or ``-2 - v``
+        when the point duplicates existing vertex ``v``.
         """
-        arr = self._arr
-        # Reserve-before-alias: the single appended point must not force
-        # a reallocation while the flat views below are live (triangle
-        # growth is reserved inside _retriangulate, which re-aliases).
-        arr.reserve_points(1)
-        tvm = arr.tv
-        tnm = arr.tn
-        pxm = arr.px
-        # ---- walking point location (inlined orientation filter) ----
-        t = (hint if 0 <= hint < arr.n_tris and tvm[3 * hint] != DEAD
-             else -1)
-        if t < 0:
-            if self._grid is not None and self._walk_ema > _GRID_EMA_USE:
-                t = self._grid_start(px, py)
-            if t < 0:
-                t = self._last_tri
-            if t < 0 or tvm[3 * t] == DEAD:
-                t = next(iter(self.live_triangles()))
-        i3 = 3 * t
-        if tvm[i3] < 0 or tvm[i3 + 1] < 0 or tvm[i3 + 2] < 0:
-            # Ghost start: step across its real edge into the hull.
-            g = (0 if tvm[i3] < 0 else (1 if tvm[i3 + 1] < 0 else 2))
-            nb = tnm[i3 + g]
-            if nb >= 0:
-                t = nb
-        max_steps = 4 * (self.n_live_triangles + 8)
-        steps = 0
-        prev = -1
-        # One pseudo-random starting-edge draw per insertion, rotated each
-        # step — enough stochasticity to break degenerate walk cycles
-        # (and the exhaustive fallback guards the rest), without an LCG
-        # step per triangle.
-        lcg = (self._lcg * 1103515245 + 12345) & 0x7FFFFFFF
-        self._lcg = lcg
-        k0 = lcg % 3
-        n_ofast = 0
-        n_oexact = 0
-        t0 = -1
-        # certified == p is *strictly* inside t0 (strictly inside a ghost
-        # half-plane), which already implies cavity membership — the
-        # circumdisk pre-check can be skipped.
-        certified = False
-        while steps < max_steps:
-            steps += 1
-            i3 = 3 * t
-            a0 = tvm[i3]
-            a1 = tvm[i3 + 1]
-            a2 = tvm[i3 + 2]
-            if a0 < 0 or a1 < 0 or a2 < 0:
-                # Ghost: accept if p is in its closed half-plane, else
-                # continue along the hull.
-                g = 0 if a0 < 0 else (1 if a1 < 0 else 2)
-                j = 2 * tvm[i3 + _NXT[g]]
-                ux = pxm[j]
-                uy = pxm[j + 1]
-                j = 2 * tvm[i3 + _PRV[g]]
-                vx = pxm[j]
-                vy = pxm[j + 1]
-                detleft = (ux - px) * (vy - py)
-                detright = (uy - py) * (vx - px)
-                det = detleft - detright
-                detsum = abs(detleft) + abs(detright)
-                if detsum > _CCW_GUARD:
-                    errbound = _CCW_ERR * detsum
-                    if det > errbound:  # lint: disable=R1 -- inlined orient2d filter; shares ORIENT_ERR_BOUND, exact fallback below
-                        n_ofast += 1
-                        t0 = t
-                        certified = True
-                        break
-                    if -det > errbound:
-                        n_ofast += 1
-                        nxt = tnm[i3 + _NXT[g]]
-                        if nxt == prev:
-                            nxt = tnm[i3 + _PRV[g]]
-                        prev = t
-                        t = nxt
-                        continue
-                n_oexact += 1
-                o = orient2d((ux, uy), (vx, vy), (px, py))
-                if o > 0:
-                    t0 = t
-                    certified = True
-                    break
-                if o == 0:
-                    t0 = t
-                    break
-                nxt = tnm[i3 + _NXT[g]]
-                if nxt == prev:
-                    nxt = tnm[i3 + _PRV[g]]
-                prev = t
-                t = nxt
-                continue
-            k0 += 1
-            if k0 > 2:
-                k0 = 0
-            moved = False
-            strict = True
-            for dk in (0, 1, 2):
-                k = k0 + dk
-                if k > 2:
-                    k -= 3
-                nb = tnm[i3 + k]
-                if nb == prev:
-                    # Entered across this edge, so p is strictly on this
-                    # side of it — no need to re-test.
-                    continue
-                j = 2 * tvm[i3 + _NXT[k]]
-                ux = pxm[j]
-                uy = pxm[j + 1]
-                j = 2 * tvm[i3 + _PRV[k]]
-                vx = pxm[j]
-                vy = pxm[j + 1]
-                detleft = (ux - px) * (vy - py)
-                detright = (uy - py) * (vx - px)
-                det = detleft - detright
-                detsum = abs(detleft) + abs(detright)
-                if detsum > _CCW_GUARD:
-                    errbound = _CCW_ERR * detsum
-                    if det > errbound:  # lint: disable=R1 -- inlined orient2d filter; shares ORIENT_ERR_BOUND, exact fallback below
-                        n_ofast += 1
-                        continue
-                    if -det > errbound:
-                        n_ofast += 1
-                        prev = t
-                        t = nb
-                        moved = True
-                        break
-                n_oexact += 1
-                o = orient2d((ux, uy), (vx, vy), (px, py))
-                if o < 0:
-                    prev = t
-                    t = nb
-                    moved = True
-                    break
-                if o == 0:
-                    strict = False
-            if not moved:
-                t0 = t
-                certified = strict
-                break
-        self.stat_orient_fast += n_ofast
-        self.stat_orient_exact += n_oexact
-        self._note_walk(steps)
-        if t0 < 0:
-            t0 = self._locate_fallback((px, py))
-            certified = False
-        # ---- duplicate check (vertices of the containing triangle) ----
-        i3 = 3 * t0
-        for vtx in (tvm[i3], tvm[i3 + 1], tvm[i3 + 2]):
-            if vtx >= 0:
-                j = 2 * vtx
-                if pxm[j] == px and pxm[j + 1] == py:
-                    self._last_tri = t0
-                    self.last_created = []
-                    self.last_removed = []
-                    return -2 - vtx
-        # ---- new vertex (capacity reserved at entry) ----
-        vid = arr.n_pts
-        j = 2 * vid
-        pxm[j] = px
-        pxm[j + 1] = py
-        arr.vt[vid] = -1
-        arr.n_pts = vid + 1
-        self.stat_inserts += 1
-        if not certified and not self._in_disk_fast(t0, px, py):
-            # p on the boundary of t0: some adjacent circumdisk holds it.
-            found = -1
-            for k in (0, 1, 2):
-                nb = tnm[3 * t0 + k]
-                if nb >= 0 and self._in_disk_fast(nb, px, py):
-                    found = nb
-                    break
-            if found < 0:
-                raise TriangulationError(
-                    f"insertion point {(px, py)} in no circumdisk (duplicate?)"
-                )
-            t0 = found
-        # ---- cavity carve (level BFS, inlined incircle filter) ----
-        constraints = self.constraints
-        cavity: Set[int] = {t0}
-        # seen = cavity plus rejected candidates, so a rejected triangle
-        # bordering two cavity triangles is tested once, not twice.
-        seen: Set[int] = {t0}
-        frontier = [t0]
-        blocked = False
-        n_ifast = 0
-        n_iexact = 0
-        while frontier:
-            cand: List[int] = []
-            if constraints:
-                for t in frontier:
-                    i3 = 3 * t
-                    nb = tnm[i3]
-                    if nb >= 0 and nb not in seen:
-                        u = tvm[i3 + 1]
-                        v = tvm[i3 + 2]
-                        if (u >= 0 and v >= 0
-                                and ((u, v) if u < v else (v, u)) in constraints):
-                            blocked = True
-                        else:
-                            cand.append(nb)
-                    nb = tnm[i3 + 1]
-                    if nb >= 0 and nb not in seen:
-                        u = tvm[i3 + 2]
-                        v = tvm[i3]
-                        if (u >= 0 and v >= 0
-                                and ((u, v) if u < v else (v, u)) in constraints):
-                            blocked = True
-                        else:
-                            cand.append(nb)
-                    nb = tnm[i3 + 2]
-                    if nb >= 0 and nb not in seen:
-                        u = tvm[i3]
-                        v = tvm[i3 + 1]
-                        if (u >= 0 and v >= 0
-                                and ((u, v) if u < v else (v, u)) in constraints):
-                            blocked = True
-                        else:
-                            cand.append(nb)
-            else:
-                for t in frontier:
-                    i3 = 3 * t
-                    nb = tnm[i3]
-                    if nb >= 0 and nb not in seen:
-                        cand.append(nb)
-                    nb = tnm[i3 + 1]
-                    if nb >= 0 and nb not in seen:
-                        cand.append(nb)
-                    nb = tnm[i3 + 2]
-                    if nb >= 0 and nb not in seen:
-                        cand.append(nb)
-            if not cand:
-                break
-            if len(cand) >= _BATCH_MIN:
-                frontier = self._expand_level_batch(cand, cavity, px, py)
-                seen.update(cand)
-                continue
-            frontier = []
-            for nb in cand:
-                if nb in seen:
-                    continue  # reached via a sibling this level
-                seen.add(nb)
-                j3 = 3 * nb
-                a = tvm[j3]
-                b = tvm[j3 + 1]
-                c = tvm[j3 + 2]
-                if a < 0 or b < 0 or c < 0:
-                    if self._in_disk_fast(nb, px, py):
-                        cavity.add(nb)
-                        frontier.append(nb)
-                    continue
-                j = 2 * a
-                pax = pxm[j]
-                pay = pxm[j + 1]
-                j = 2 * b
-                pbx = pxm[j]
-                pby = pxm[j + 1]
-                j = 2 * c
-                pcx = pxm[j]
-                pcy = pxm[j + 1]
-                adx = pax - px
-                ady = pay - py
-                bdx = pbx - px
-                bdy = pby - py
-                cdx = pcx - px
-                cdy = pcy - py
-                bdxcdy = bdx * cdy
-                cdxbdy = cdx * bdy
-                cdxady = cdx * ady
-                adxcdy = adx * cdy
-                adxbdy = adx * bdy
-                bdxady = bdx * ady
-                alift = adx * adx + ady * ady
-                blift = bdx * bdx + bdy * bdy
-                clift = cdx * cdx + cdy * cdy
-                det = (alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy)
-                       + clift * (adxbdy - bdxady))
-                s = alift + blift + clift
-                if s > _ICC_S_GUARD:
-                    cheap = _ICC_CHEAP * s * s
-                    if det > cheap:  # lint: disable=R1 -- inlined incircle cheap certificate; full filter + exact below
-                        n_ifast += 1
-                        cavity.add(nb)
-                        frontier.append(nb)
-                        continue
-                    if -det > cheap:
-                        n_ifast += 1
-                        continue
-                # Cheap certificate inconclusive: full Shewchuk filter.
-                permanent = ((abs(bdxcdy) + abs(cdxbdy)) * alift
-                             + (abs(cdxady) + abs(adxcdy)) * blift
-                             + (abs(adxbdy) + abs(bdxady)) * clift)
-                if permanent > _ICC_GUARD:
-                    errbound = _ICC_ERR * permanent
-                    if det > errbound:  # lint: disable=R1 -- inlined incircle Shewchuk filter; exact escalation below
-                        n_ifast += 1
-                        cavity.add(nb)
-                        frontier.append(nb)
-                        continue
-                    if -det > errbound:
-                        n_ifast += 1
-                        continue
-                n_iexact += 1
-                if incircle((pax, pay), (pbx, pby), (pcx, pcy),
-                            (px, py)) > 0:
-                    cavity.add(nb)
-                    frontier.append(nb)
-        self.stat_incircle_fast += n_ifast
-        self.stat_incircle_exact += n_iexact
-        self._retriangulate(vid, cavity, t0, blocked)
-        return vid
+        return insert_point_fast(self, px, py, hint)
 
     def _bootstrap_insert(self, p: Tuple[float, float], on_duplicate: str) -> int:
         """Handle insertions before the first real triangle exists."""
@@ -1231,164 +733,19 @@ class Triangulation:
     def _carve_cavity_ref(self, p: Tuple[float, float], t0: int
                           ) -> Tuple[Set[int], bool]:
         """Circumdisk BFS with scalar robust predicates (reference)."""
-        cavity: Set[int] = {t0}
-        stack = [t0]
-        blocked = False
-        constraints = self.constraints
-        while stack:
-            t = stack.pop()
-            for k in range(3):
-                nb = self.tri_n[t][k]
-                if nb < 0 or nb in cavity:
-                    continue
-                u, v = self._edge(t, k)
-                if u != GHOST and v != GHOST:
-                    key = (u, v) if u < v else (v, u)
-                    if key in constraints:
-                        blocked = True
-                        continue
-                if self._in_disk(nb, p):
-                    cavity.add(nb)
-                    stack.append(nb)
-        return cavity, blocked
+        return carve_cavity_ref(self, p, t0)
 
     def _carve_cavity_fast(self, p: Tuple[float, float], t0: int
                            ) -> Tuple[Set[int], bool]:
-        """Level-order circumdisk search with inlined filtered predicates.
-
-        Small frontiers use the scalar filter inline; frontiers of
-        :data:`_BATCH_MIN` or more candidates go through one vectorised
-        :func:`incircle_batch` call (refinement cavities on graded
-        meshes).  Membership decisions are identical to the reference:
-        the cavity is the constraint-respecting connected component of
-        triangles whose open circumdisk contains ``p``, independent of
-        traversal order.
+        """Level-order circumdisk search with inlined filtered
+        predicates; see :func:`repro.delaunay.cavity.carve_cavity_fast`.
         """
-        tri_v = self.tri_v
-        tri_n = self.tri_n
-        pts = self.pts
-        constraints = self.constraints
-        px, py = p
-        cavity: Set[int] = {t0}
-        frontier = [t0]
-        blocked = False
-        n_icc_fast = 0
-        while frontier:
-            cand: List[int] = []
-            for t in frontier:
-                tv = tri_v[t]
-                tn = tri_n[t]
-                for k in range(3):
-                    nb = tn[k]
-                    if nb < 0 or nb in cavity:
-                        continue
-                    if constraints:
-                        u = tv[k - 2]
-                        v = tv[k - 1]
-                        if u >= 0 and v >= 0:
-                            key = (u, v) if u < v else (v, u)
-                            if key in constraints:
-                                blocked = True
-                                continue
-                    cand.append(nb)
-            if not cand:
-                break
-            if len(cand) >= _BATCH_MIN:
-                frontier = self._expand_level_batch(cand, cavity, px, py)
-                continue
-            frontier = []
-            for nb in cand:
-                if nb in cavity:
-                    continue  # added via a sibling this level
-                tv = tri_v[nb]
-                a = tv[0]
-                b = tv[1]
-                c = tv[2]
-                if a < 0 or b < 0 or c < 0:
-                    if self._in_disk_fast(nb, px, py):
-                        cavity.add(nb)
-                        frontier.append(nb)
-                    continue
-                # Inlined incircle filter (matches the scalar predicate's
-                # first stage); only inconclusive signs leave this loop.
-                ax, ay = pts[a]
-                bx, by = pts[b]
-                cx, cy = pts[c]
-                adx = ax - px
-                ady = ay - py
-                bdx = bx - px
-                bdy = by - py
-                cdx = cx - px
-                cdy = cy - py
-                bdxcdy = bdx * cdy
-                cdxbdy = cdx * bdy
-                cdxady = cdx * ady
-                adxcdy = adx * cdy
-                adxbdy = adx * bdy
-                bdxady = bdx * ady
-                alift = adx * adx + ady * ady
-                blift = bdx * bdx + bdy * bdy
-                clift = cdx * cdx + cdy * cdy
-                det = (alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy)
-                       + clift * (adxbdy - bdxady))
-                permanent = ((abs(bdxcdy) + abs(cdxbdy)) * alift
-                             + (abs(cdxady) + abs(adxcdy)) * blift
-                             + (abs(adxbdy) + abs(bdxady)) * clift)
-                if permanent > _ICC_GUARD:
-                    errbound = _ICC_ERR * permanent
-                    if det > errbound:
-                        n_icc_fast += 1
-                        cavity.add(nb)
-                        frontier.append(nb)
-                        continue
-                    if -det > errbound:
-                        n_icc_fast += 1
-                        continue
-                self.stat_incircle_exact += 1
-                if incircle(pts[a], pts[b], pts[c], (px, py)) > 0:
-                    cavity.add(nb)
-                    frontier.append(nb)
-        self.stat_incircle_fast += n_icc_fast
-        return cavity, blocked
+        return carve_cavity_fast(self, p, t0)
 
     def _expand_level_batch(self, cand: List[int], cavity: Set[int],
                             px: float, py: float) -> List[int]:
-        """Batched in-disk test of one BFS level; returns accepted tris.
-
-        Vectorised over the SoA buffers: one fancy-indexed gather pulls
-        the candidate vertex rows and their coordinates straight out of
-        ``MeshArrays`` (no per-triangle Python coordinate staging), then
-        a single :func:`incircle_batch` call decides the level.  Ghost
-        candidates keep the scalar half-plane test.
-        """
-        arr = self._arr
-        idx = np.asarray(cand, dtype=np.int64)
-        rows = arr.tri_v[idx]                       # (m, 3) gather
-        ghost = rows.min(axis=1) < 0
-        nxt: List[int] = []
-        if ghost.any():
-            for nb in idx[ghost].tolist():
-                if nb not in cavity and self._in_disk_fast(nb, px, py):
-                    cavity.add(nb)
-                    nxt.append(nb)
-        real = ~ghost
-        m = int(real.sum())
-        if m:
-            reals = idx[real].tolist()
-            abc = arr.pts[rows[real]]               # (m, 3, 2) gather
-            before = batch_exact_counts()["incircle"]
-            signs = incircle_batch(abc[:, 0], abc[:, 1], abc[:, 2],
-                                   np.array((px, py)))
-            n_exact = batch_exact_counts()["incircle"] - before
-            self.stat_batch_calls += 1
-            self.stat_batch_entries += m
-            self.stat_incircle_exact += n_exact
-            self.stat_incircle_fast += m - n_exact
-            for nb, s in zip(reals, signs.tolist()):
-                if s > 0 and nb not in cavity:
-                    cavity.add(nb)
-                    nxt.append(nb)
-        return nxt
+        """Batched in-disk test of one BFS level; returns accepted tris."""
+        return expand_level_batch(self, cand, cavity, px, py)
 
     def _insert_into_cavity(self, vid: int, t0: int) -> None:
         """Bowyer–Watson: carve the cavity of circumdisks containing the new
@@ -1420,209 +777,12 @@ class Triangulation:
                        blocked: bool) -> None:
         """Replace ``cavity`` by the star fan of ``vid`` (shared tail of
         the fast and reference insertion paths)."""
-        arr = self._arr
-        n_cavity = len(cavity)
-        # Reserve-before-alias: a connected cavity of n triangles has at
-        # most n + 2 boundary edges (Euler), so at most n + 2 fan slots
-        # are appended; reserving them up front keeps the flat views
-        # below valid for the whole frame.
-        arr.reserve_triangles(n_cavity + 2)
-        tvm = arr.tv
-        tnm = arr.tn
-        vtm = arr.vt
-        self.stat_cavity_tris += n_cavity
-        self.stat_cavity_hist[n_cavity if n_cavity < 31 else 31] += 1
-
-        # Constrained-Delaunay visibility pruning: with spiky constrained
-        # boundaries the circumdisk BFS can wrap AROUND a constrained edge
-        # (reaching both of its sides without ever crossing it).  Keeping
-        # such triangles would delete the constraint during
-        # retriangulation.  Detect the configuration and prune cavity
-        # triangles whose centroid is not visible from p.
-        if self.constraints:
-            p = self.pts[vid]
-            wrapped_edge = False
-            for t in cavity:
-                i3 = 3 * t
-                for k in range(3):
-                    nb = tnm[i3 + k]
-                    if nb not in cavity:
-                        continue
-                    u = tvm[i3 + _NXT[k]]
-                    v = tvm[i3 + _PRV[k]]
-                    if u == GHOST or v == GHOST:
-                        continue
-                    key = (u, v) if u < v else (v, u)
-                    if key in self.constraints:
-                        wrapped_edge = True
-                        break
-                if wrapped_edge:
-                    break
-            if wrapped_edge:
-                cavity = self._prune_cavity_visibility(cavity, t0, p)
-                blocked = True
-                n_cavity = len(cavity)
-
-        # Walk the cavity boundary in ring order, creating the fan as we
-        # go: fan triangle [u, v, vid] has edge 0 = (v, vid) bordering
-        # the NEXT fan triangle and edge 1 = (vid, u) bordering the
-        # PREVIOUS one, so creating in ring order links the fan without
-        # any vertex maps or second pass.  New slots come from the free
-        # list (cavity slots are freed only afterwards, so ids never
-        # collide with live ones).
-        free = arr.free
-        n_tris_local = arr.n_tris
-        new_tris: List[int] = []
-        # Any cavity edge whose neighbour survives starts the ring.
-        t = k = -1
-        for t in cavity:
-            i3 = 3 * t
-            if tnm[i3] not in cavity:
-                k = 0
-                break
-            if tnm[i3 + 1] not in cavity:
-                k = 1
-                break
-            if tnm[i3 + 2] not in cavity:
-                k = 2
-                break
-        if k < 0:
-            raise TriangulationError("cavity has no boundary")
-        start_t = t
-        start_k = k
-        first_nt = -1
-        prev_nt = -1
-        while True:
-            i3 = 3 * t
-            u = tvm[i3 + _NXT[k]]
-            v = tvm[i3 + _PRV[k]]
-            nb = tnm[i3 + k]
-            if free:
-                nt = free.pop()
-            else:
-                nt = n_tris_local
-                n_tris_local += 1
-            j3 = 3 * nt
-            tvm[j3] = u
-            tvm[j3 + 1] = v
-            tvm[j3 + 2] = vid
-            tnm[j3] = -1
-            tnm[j3 + 1] = prev_nt
-            tnm[j3 + 2] = nb
-            if nb >= 0:
-                # Directed edge (v, u) of nb: v appears exactly once there.
-                m3 = 3 * nb
-                tnm[m3 + (0 if tvm[m3 + 1] == v
-                          else (1 if tvm[m3 + 2] == v else 2))] = nt
-            if u >= 0:
-                vtm[u] = nt
-            if prev_nt >= 0:
-                tnm[3 * prev_nt] = nt
-            else:
-                first_nt = nt
-            prev_nt = nt
-            new_tris.append(nt)
-            # Advance to the boundary edge starting at v: pivot around v
-            # through cavity triangles until an edge leaves the cavity.
-            j = k + 1
-            if j > 2:
-                j = 0
-            while True:
-                nb2 = tnm[3 * t + j]
-                if nb2 not in cavity:
-                    break
-                t = nb2
-                m3 = 3 * t
-                # Edge (v, .) of t, i.e. the index j with tv[j - 2] == v.
-                j = (0 if tvm[m3] == v else (1 if tvm[m3 + 1] == v else 2)) - 1
-                if j < 0:
-                    j = 2
-            k = j
-            if t == start_t and k == start_k:
-                break
-        arr.n_tris = n_tris_local
-        tnm[3 * prev_nt] = first_nt
-        tnm[3 * first_nt + 1] = prev_nt
-
-        self.last_removed = list(cavity)
-        for t in cavity:
-            tvm[3 * t] = DEAD
-        free.extend(cavity)
-        self.n_live_triangles += len(new_tris) - n_cavity
-        self._last_tri = first_nt
-        self.last_created = new_tris
-        # Pick a real incident triangle as the vertex hint when available.
-        vtm[vid] = new_tris[0]
-        for t in new_tris:
-            i3 = 3 * t
-            if tvm[i3] >= 0 and tvm[i3 + 1] >= 0 and tvm[i3 + 2] >= 0:
-                vtm[vid] = t
-                break
-        if blocked:
-            # A constraint clipped the cavity: the star fan is not
-            # automatically locally Delaunay, so legalise around the new
-            # vertex (Lawson flips, never crossing constraints).  Flips
-            # reuse the two triangle slots, so last_created stays valid.
-            self._legalize_vertex(vid)
+        retriangulate(self, vid, cavity, t0, blocked)
 
     def _prune_cavity_visibility(self, cavity: Set[int], t0: int,
                                  p: Tuple[float, float]) -> Set[int]:
-        """Drop cavity triangles whose centroid p cannot see.
-
-        Visibility is tested against the constrained edges incident to
-        cavity triangles (a blocking constraint must appear there); the
-        surviving set is re-restricted to the connected component of
-        ``t0`` so the retriangulated fan stays star-shaped about ``p``.
-        """
-        from ..geometry.primitives import segments_intersect
-
-        constr: Set[Tuple[int, int]] = set()
-        for t in cavity:
-            tv = self.tri_v[t]
-            for k in range(3):
-                u, v = tv[k - 2], tv[k - 1]
-                if u == GHOST or v == GHOST:
-                    continue
-                key = (u, v) if u < v else (v, u)
-                if key in self.constraints:
-                    constr.add(key)
-        if not constr:
-            return cavity
-
-        def visible(t: int) -> bool:
-            tv = self.tri_v[t]
-            if GHOST in tv:
-                reals = [self.pts[w] for w in tv if w != GHOST]
-                cx = sum(q[0] for q in reals) / len(reals)
-                cy = sum(q[1] for q in reals) / len(reals)
-            else:
-                cx = sum(self.pts[w][0] for w in tv) / 3.0
-                cy = sum(self.pts[w][1] for w in tv) / 3.0
-            for (u, v) in constr:
-                if segments_intersect(p, (cx, cy), self.pts[u],
-                                      self.pts[v], proper_only=True):
-                    return False
-            return True
-
-        kept = {t for t in cavity if t == t0 or visible(t)}
-        # Connected component of t0 within the kept set, still never
-        # crossing constrained edges.
-        comp = {t0}
-        stack = [t0]
-        while stack:
-            t = stack.pop()
-            for k in range(3):
-                nb = self.tri_n[t][k]
-                if nb not in kept or nb in comp:
-                    continue
-                u, v = self._edge(t, k)
-                if u != GHOST and v != GHOST:
-                    key = (u, v) if u < v else (v, u)
-                    if key in self.constraints:
-                        continue
-                comp.add(nb)
-                stack.append(nb)
-        return comp
+        """Drop cavity triangles whose centroid ``p`` cannot see."""
+        return prune_cavity_visibility(self, cavity, t0, p)
 
     def _legalize_vertex(self, vid: int, *, max_ops: int = 100_000) -> None:
         """Lawson legalisation of the edges opposite ``vid`` in its star.
@@ -1891,7 +1051,8 @@ class Triangulation:
 
 def triangulate(points: np.ndarray, *, assume_sorted: bool = False,
                 seed: int = 0xC0FFEE,
-                fast_predicates: bool = True) -> Triangulation:
+                fast_predicates: bool = True,
+                strategy: Optional[str] = None) -> Triangulation:
     """Delaunay-triangulate a point set incrementally.
 
     ``assume_sorted`` mirrors the paper's Triangle optimisation (Section
@@ -1900,46 +1061,31 @@ def triangulate(points: np.ndarray, *, assume_sorted: bool = False,
     predecessor).  Otherwise points are inserted in BRIO order derived
     from ``seed`` for expected-case robustness.  Identical inputs and
     seed produce byte-identical triangulations.
+
+    ``strategy`` picks the bulk insertion strategy from the
+    :mod:`repro.delaunay.cavity` registry (``scalar`` or ``batch``);
+    ``None`` defers to the ``REPRO_INSERT`` environment variable and
+    then the scalar default.  Every strategy produces a Delaunay
+    triangulation of the same point set; vertex numbering may differ.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must be (n, 2)")
     tri, _ = _triangulate_with_map(points, assume_sorted=assume_sorted,
-                                   seed=seed, fast_predicates=fast_predicates)
+                                   seed=seed, fast_predicates=fast_predicates,
+                                   strategy=strategy)
     return tri
 
 
-def _brio_order(points: np.ndarray, seed: int = 0xC0FFEE) -> np.ndarray:
-    """Biased randomised insertion order: random rounds of doubling size,
-    each round x-sorted — keeps the walk from the previous insert short
-    (expected O(1)) while keeping cavity sizes bounded in expectation.
-    The shuffle is fully determined by ``seed``."""
-    rng = np.random.default_rng(seed)
-    perm = rng.permutation(len(points))
-    chunks = []
-    start, size = 0, 8
-    while start < len(points):
-        block = perm[start:start + size]
-        # Snake order within the round: x-buckets, alternating y sweep —
-        # consecutive inserts are spatial neighbours, so the walk from the
-        # previous insertion is O(1) expected.
-        m = len(block)
-        nb = max(1, int(math.sqrt(m)))
-        xs = points[block, 0]
-        ranks = np.argsort(np.argsort(xs, kind="stable"), kind="stable")
-        bucket = np.minimum(ranks * nb // max(m, 1), nb - 1)
-        ys = points[block, 1]
-        y_key = np.where(bucket % 2 == 0, ys, -ys)
-        order = np.lexsort((y_key, bucket))
-        chunks.append(block[order])
-        start += size
-        size *= 2
-    return np.concatenate(chunks) if chunks else np.arange(0)
+#: Historical name for the shared BRIO ordering (now owned by
+#: :mod:`repro.delaunay.cavity`); kept for importers.
+_brio_order = brio_order
 
 
 def _triangulate_with_map(points: np.ndarray, *, assume_sorted: bool,
                           seed: int = 0xC0FFEE,
                           fast_predicates: bool = True,
+                          strategy: Optional[str] = None,
                           ) -> Tuple[Triangulation, Dict[int, int]]:
     if len(points) and not np.isfinite(points).all():
         raise ValueError("non-finite coordinates")
@@ -1949,39 +1095,15 @@ def _triangulate_with_map(points: np.ndarray, *, assume_sorted: bool,
     if assume_sorted:
         order = range(len(points))
     else:
-        order = _brio_order(points, seed=seed).tolist()
-    coords = points.tolist()  # plain floats: much cheaper to insert
-    inserted: Dict[int, int] = {}
-    insert = tri.insert_point
-    fast_insert = tri._insert_fast if fast_predicates else None
-    # The bulk loop allocates ~a dozen small objects per insertion and
-    # keeps them all reachable; generational GC scans buy nothing here, so
-    # pause collection for the loop.
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        it = iter(order)
-        for i in it:
-            i = int(i)
-            x, y = coords[i]
-            inserted[i] = insert(x, y)
-            if fast_insert is not None and tri.n_live_triangles:
-                break
-        for i in it:
-            i = int(i)
-            x, y = coords[i]
-            # Bulk path: coordinates validated above, so skip the
-            # per-point wrapper (duplicates map to the existing vertex).
-            r = fast_insert(x, y, -1)
-            inserted[i] = r if r >= 0 else -2 - r
-    finally:
-        if gc_was_enabled:
-            gc.enable()
+        order = brio_order(points, seed=seed).tolist()
+    name = resolve_strategy_name(strategy)
+    inserted = get_strategy(name).insert_points(tri, points, order)
     return tri, inserted
 
 
 def delaunay_mesh(points: np.ndarray, *, assume_sorted: bool = False,
-                  seed: int = 0xC0FFEE) -> TriMesh:
+                  seed: int = 0xC0FFEE,
+                  strategy: Optional[str] = None) -> TriMesh:
     """Delaunay triangulation as a :class:`TriMesh` indexed like ``points``.
 
     Duplicate input points map to the first occurrence, so triangle indices
@@ -1989,7 +1111,7 @@ def delaunay_mesh(points: np.ndarray, *, assume_sorted: bool = False,
     """
     points = np.asarray(points, dtype=np.float64)
     tri, inserted = _triangulate_with_map(points, assume_sorted=assume_sorted,
-                                          seed=seed)
+                                          seed=seed, strategy=strategy)
     # kernel vertex id -> smallest input index that produced it
     inv: Dict[int, int] = {}
     for i, k in inserted.items():

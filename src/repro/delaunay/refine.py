@@ -29,6 +29,7 @@ import numpy as np
 from ..geometry.predicates import exact_eq
 from ..geometry.primitives import circumcenter, distance, distance_sq
 from ..runtime.counters import current as counters_current
+from .cavity import find_directed_edge
 from .constrained import carve, triangulate_pslg
 from .kernel import GHOST, Triangulation, TriangulationError
 from .mesh import TriMesh
@@ -239,13 +240,21 @@ class Refiner:
         return vid
 
     def _find_any_edge_triangle(self, u: int, v: int) -> Optional[int]:
-        for t in self.tri.triangles_around_vertex(u):
-            if v in self.tri.tri_v[t] and not self.tri.is_ghost(t):
-                return t
-        for t in self.tri.triangles_around_vertex(u):
-            if v in self.tri.tri_v[t]:
-                return t
-        return None
+        """Any live triangle holding edge {u, v}, preferring a real one.
+
+        The two directed-edge probes cover both sides of the edge; only
+        a hull edge can make one side ghost.
+        """
+        tri = self.tri
+        ghost: Optional[int] = None
+        for a, b in ((u, v), (v, u)):
+            loc = find_directed_edge(tri, a, b)
+            if loc is not None:
+                if not tri.is_ghost(loc[0]):
+                    return loc[0]
+                if ghost is None:
+                    ghost = loc[0]
+        return ghost
 
     # ------------------------------------------------------------------
     # Encroachment

@@ -31,6 +31,7 @@ import numpy as np
 __all__ = [
     "orient2d",
     "orient2d_batch",
+    "orient2d_batch3",
     "incircle",
     "incircle_batch",
     "ORIENT_CCW",
@@ -196,6 +197,24 @@ def orient2d_batch(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
     return out
 
 
+def orient2d_batch3(u: np.ndarray, v: np.ndarray, p: np.ndarray
+                    ) -> np.ndarray:
+    """Exact signs of ``orient2d(u[i, k], v[i, k], p[i])`` as ``(m, 3)``.
+
+    The vectorised cavity walk asks one question per step: for every
+    still-walking point, which of its triangle's three directed edges
+    is it strictly right of?  ``u``/``v`` are ``(m, 3, 2)`` edge
+    endpoint arrays and ``p`` is ``(m, 2)``.  The query flattens to one
+    :func:`orient2d_batch` call (whose exact-escalation path indexes
+    flat ``(n, 2)`` inputs), so every sign is exact and escalations
+    land in the shared ``orient2d`` batch tally.
+    """
+    u = np.asarray(u, dtype=np.float64).reshape(-1, 2)
+    v = np.asarray(v, dtype=np.float64).reshape(-1, 2)
+    p3 = np.repeat(np.asarray(p, dtype=np.float64), 3, axis=0)
+    return orient2d_batch(u, v, p3).reshape(-1, 3)
+
+
 def _incircle_exact(ax, ay, bx, by, cx, cy, dx, dy) -> int:
     """Exact sign of the 4x4 incircle determinant via rationals."""
     ax, ay = Fraction(ax), Fraction(ay)
@@ -275,11 +294,16 @@ def incircle(a, b, c, d) -> int:
 def incircle_batch(
     a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray
 ) -> np.ndarray:
-    """Vectorised :func:`incircle` over arrays of shape ``(n, 2)``."""
+    """Vectorised :func:`incircle` over arrays of shape ``(n, 2)``.
+
+    ``d`` may be a single ``(2,)`` query shared by every row or an
+    ``(n, 2)`` per-row query; it is broadcast up front so the exact
+    escalation loop can index rows uniformly.
+    """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     c = np.asarray(c, dtype=np.float64)
-    d = np.asarray(d, dtype=np.float64)
+    d = np.broadcast_to(np.asarray(d, dtype=np.float64), a.shape)
 
     adx, ady = a[..., 0] - d[..., 0], a[..., 1] - d[..., 1]
     bdx, bdy = b[..., 0] - d[..., 0], b[..., 1] - d[..., 1]

@@ -521,8 +521,13 @@ class BufferCopyRule(Rule):
     buffer name (``pts``, ``tri_v``, ``tri_n``, ``vertex_tri``, ``px``,
     ``tv``, ``tn``, ``vt``, ``points``, ``triangles``, ``segments``),
     lexically inside a function named ``compact``/``to_mesh``/
-    ``to_trimesh``/``pack_*``/``unpack_*``/``buffers_*``.  Loops over
-    other state (constraint lists, label dicts) are not flagged.
+    ``to_trimesh``/``pack_*``/``unpack_*``/``buffers_*``/``batch_*``/
+    ``*_batch``.  The ``batch`` names cover the cavity engine's
+    vectorised insertion paths (``walk_batch``, ``carve_batch``, ...):
+    those exist *because* they replace per-element predicate loops, so
+    a Python walk over the buffers inside one is a regression by
+    definition.  Loops over other state (constraint lists, label
+    dicts, per-candidate cavity sets) are not flagged.
 
     Fix: vectorize — boolean masks, fancy indexing, ``remap[tris]`` —
     or, when a per-element walk is genuinely required (e.g. constraint
@@ -535,7 +540,8 @@ class BufferCopyRule(Rule):
     invariant = "zero-Python-loop mesh finalize and transport"
 
     _FUNC_NAMES = {"compact", "to_mesh", "to_trimesh"}
-    _FUNC_PREFIXES = ("pack_", "unpack_", "buffers_")
+    _FUNC_PREFIXES = ("pack_", "unpack_", "buffers_", "batch_")
+    _FUNC_SUFFIXES = ("_batch",)
     _BUFFERS = {"pts", "tri_v", "tri_n", "vertex_tri", "px", "tv", "tn",
                 "vt", "points", "triangles", "segments"}
 
@@ -544,7 +550,8 @@ class BufferCopyRule(Rule):
 
     def _in_scope(self, name: str) -> bool:
         return (name in self._FUNC_NAMES
-                or name.startswith(self._FUNC_PREFIXES))
+                or name.startswith(self._FUNC_PREFIXES)
+                or name.endswith(self._FUNC_SUFFIXES))
 
     def _mentions_buffer(self, expr: ast.expr) -> Optional[str]:
         for node in ast.walk(expr):

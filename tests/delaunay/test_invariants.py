@@ -108,17 +108,18 @@ def assert_invariants(tri: Triangulation, *, exhaustive: bool = False
 
 
 def canonical_triangles(tri: Triangulation):
-    """Rotation-normalised real triangle set (order-independent)."""
+    """Rotation-normalised real triangle set, keyed by *coordinates*.
+
+    Kernel vertex ids are an insertion-schedule artifact — the batch
+    insertion strategy numbers points in acceptance order, not BRIO
+    order — so cross-kernel comparisons must canonicalise through the
+    geometry (unique for the duplicate-free clouds used here)."""
+    coords = tri._arr.pts
     out = set()
     for t in real_triangles(tri):
-        a, b, c = tri.tri_v[t]
-        m = min(a, b, c)
-        if m == a:
-            out.add((a, b, c))
-        elif m == b:
-            out.add((b, c, a))
-        else:
-            out.add((c, a, b))
+        keys = sorted((float(coords[v, 0]), float(coords[v, 1]))
+                      for v in tri.tri_v[t])
+        out.add(tuple(keys))
     return out
 
 

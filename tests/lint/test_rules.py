@@ -235,6 +235,42 @@ class TestR7BufferCopy:
         findings = lint_snippet(tmp_path, "repro/io/ok.py", ok)
         assert "R7" not in rules_hit(findings)
 
+    def test_seeded_fault_in_batch_path_fires(self, tmp_path):
+        # Seeded regression: de-vectorising a cavity-engine batch helper
+        # back into a per-triangle Python loop over the SoA buffers must
+        # trip R7 (this is exactly the loop walk_batch/carve_batch
+        # replaced with one predicate call per level).
+        bad = """
+            def carve_batch(tri, t0s, qxy):
+                out = []
+                for row in tri.tri_v:
+                    out.append(int(row[0]))
+                return out
+        """
+        findings = lint_snippet(tmp_path, "repro/delaunay/cavity.py", bad)
+        assert "R7" in rules_hit(findings)
+
+    def test_batch_prefix_comprehension_fires(self, tmp_path):
+        bad = """
+            def batch_locate(tri, qxy):
+                return [p for p in tri.pts]
+        """
+        findings = lint_snippet(tmp_path, "repro/delaunay/cavity.py", bad)
+        assert "R7" in rules_hit(findings)
+
+    def test_batch_loop_over_cavity_sets_allowed(self, tmp_path):
+        # Per-candidate control flow over cavity *sets* (not buffers) is
+        # the legitimate scalar part of the batch path.
+        ok = """
+            def insert_batch(tri, cavities):
+                claimed = set()
+                for cav in cavities:
+                    claimed |= cav
+                return claimed
+        """
+        findings = lint_snippet(tmp_path, "repro/delaunay/cavity.py", ok)
+        assert "R7" not in rules_hit(findings)
+
 
 class TestPragmas:
     def test_justified_pragma_suppresses(self, tmp_path):
