@@ -34,8 +34,10 @@ from .core.bl_pipeline import (
 )
 from .analysis import mesh_report
 from .core.pipeline import MeshConfig, MeshResult, generate_mesh
-from .delaunay import TriMesh, delaunay_mesh, refine_pslg, validate_mesh
+from .delaunay import TriMesh, adapt_mesh, delaunay_mesh, refine_pslg, \
+    validate_mesh
 from .geometry import PSLG, naca4, naca0012, three_element_airfoil
+from .metric import MetricField
 from .sizing import GeometricGrowth, GradedDistanceSizing, UniformSizing
 
 __version__ = "1.0.0"
@@ -47,9 +49,11 @@ __all__ = [
     "GradedDistanceSizing",
     "MeshConfig",
     "MeshResult",
+    "MetricField",
     "PSLG",
     "TriMesh",
     "UniformSizing",
+    "adapt_mesh",
     "delaunay_mesh",
     "generate_boundary_layer",
     "generate_mesh",

@@ -4,6 +4,8 @@ from .metrics import (
     alignment_to_surface,
     element_directions,
     histogram,
+    metric_conformity,
+    metric_edge_lengths,
     orthogonality_of_normals,
     size_profile,
 )
@@ -14,6 +16,8 @@ __all__ = [
     "element_directions",
     "histogram",
     "mesh_report",
+    "metric_conformity",
+    "metric_edge_lengths",
     "orthogonality_of_normals",
     "size_profile",
 ]

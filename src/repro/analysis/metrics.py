@@ -31,6 +31,8 @@ __all__ = [
     "orthogonality_of_normals",
     "size_profile",
     "histogram",
+    "metric_edge_lengths",
+    "metric_conformity",
 ]
 
 
@@ -159,3 +161,41 @@ def histogram(values: np.ndarray, *, bins: int = 10, width: int = 40,
         bar = "#" * int(round(width * c / peak))
         rows.append(f"  [{lo:10.4g}, {hi:10.4g})  {c:>7}  {bar}")
     return "\n".join(rows)
+
+
+# ----------------------------------------------------------------------
+# Quality in the metric (unit-mesh criterion)
+# ----------------------------------------------------------------------
+def metric_edge_lengths(mesh: TriMesh, metric_field) -> np.ndarray:
+    """Metric length of every unique mesh edge under ``metric_field``.
+
+    Lengths use the graded (Alauzet) formula of
+    :meth:`repro.metric.MetricField.edge_lengths`, evaluated at the
+    field's values interpolated onto the mesh vertices — an adapted mesh
+    is a *unit mesh* when these all fall in ``[1/sqrt(2), sqrt(2)]``.
+    """
+    t = mesh.triangles
+    edges = np.unique(np.sort(np.concatenate(
+        [t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]]), axis=1), axis=0)
+    field = metric_field.interpolate_field(mesh.points)
+    return field.edge_lengths(edges)
+
+
+def metric_conformity(mesh: TriMesh, metric_field,
+                      *, l_min: Optional[float] = None,
+                      l_max: Optional[float] = None) -> float:
+    """Fraction of mesh edges with metric length in the unit band.
+
+    The band defaults to the classical ``[1/sqrt(2), sqrt(2)]``
+    (:data:`repro.delaunay.adapt.LOW_BAND` /
+    :data:`~repro.delaunay.adapt.HIGH_BAND`); 1.0 means the mesh
+    perfectly discretises the metric.
+    """
+    from ..delaunay.adapt import HIGH_BAND, LOW_BAND
+
+    lo = LOW_BAND if l_min is None else float(l_min)
+    hi = HIGH_BAND if l_max is None else float(l_max)
+    lengths = metric_edge_lengths(mesh, metric_field)
+    if len(lengths) == 0:
+        return 1.0
+    return float(((lengths >= lo) & (lengths <= hi)).mean())

@@ -135,6 +135,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="idle worker time-to-live for the persistent pool "
                    f"(default {executor.DEFAULT_POOL_TTL:.0f}s; equivalent "
                    "to REPRO_POOL_TTL)")
+    adapt = p.add_argument_group(
+        "metric adaptation",
+        "solution-driven anisotropic adaptation of the inviscid mesh "
+        "(solve potential flow, recover the streamfunction Hessian, "
+        "adapt to the resulting metric, repeat)")
+    adapt.add_argument("--adapt", action="store_true",
+                       help="run metric-driven adaptation cycles after "
+                       "meshing (the surface and BL region are protected)")
+    adapt.add_argument("--adapt-cycles", type=int, metavar="N", default=2,
+                       help="solve->adapt cycles (default 2)")
+    adapt.add_argument("--adapt-eps", type=float, default=1e-2,
+                       help="target interpolation error for the Hessian "
+                       "metric (default 1e-2)")
+    adapt.add_argument("--adapt-hmin", type=float, default=None,
+                       help="smallest metric spacing (default: "
+                       "--first-spacing)")
+    adapt.add_argument("--adapt-hmax", type=float, default=None,
+                       help="largest metric spacing (default: one chord)")
+    adapt.add_argument("--adapt-passes", type=int, default=3,
+                       help="local-operation passes per adapt step "
+                       "(default 3)")
     p.add_argument("-o", "--output", required=True,
                    help="output base path (no extension)")
     p.add_argument("--format", choices=["ascii", "npz", "vtk", "both"],
@@ -269,6 +290,60 @@ def _write_mesh_outputs(args: argparse.Namespace, mesh) -> list:
 
         written.append(str(write_vtk(out.with_suffix(".vtk"), mesh)))
     return written
+
+
+def _run_adaptation(pslg: PSLG, mesh, args: argparse.Namespace,
+                    backend_impl) -> tuple:
+    """Metric-adaptation cycles on the final mesh -> (mesh, summary).
+
+    Sensor: the potential-flow streamfunction.  Each cycle solves the
+    flow, recovers the Hessian metric, limits its gradation, and
+    dispatches one packed adapt work item through the selected executor
+    backend (serde round trips are exact, so the backend cannot change
+    the result).  Body surfaces are constrained segments and protected
+    from splitting, so the geometry never degrades.
+    """
+    from .core.bl_pipeline import interior_seed
+    from .core.pipeline import (adapt_workitem, pack_adapt_item,
+                                unpack_adapt_result)
+    from .metric import MetricField
+    from .solver.flow import solve_potential_flow
+
+    body_loops = [pslg.loop_points(lp) for lp in pslg.body_loops]
+    holes = [interior_seed(lp) for lp in body_loops]
+    h_min = (args.adapt_hmin if args.adapt_hmin is not None
+             else args.first_spacing)
+    h_max = args.adapt_hmax if args.adapt_hmax is not None else 1.0
+    cycles = []
+    for _ in range(max(args.adapt_cycles, 0)):
+        flow = solve_potential_flow(mesh, body_loops)
+        metric = MetricField.from_hessian(mesh, flow.psi,
+                                          eps=args.adapt_eps,
+                                          h_min=h_min, h_max=h_max)
+        edges = np.unique(np.sort(np.concatenate([
+            mesh.triangles[:, [0, 1]], mesh.triangles[:, [1, 2]],
+            mesh.triangles[:, [2, 0]]]), axis=1), axis=0)
+        metric = metric.limit_gradation(edges, grading=args.grading)
+        payload = pack_adapt_item(mesh, metric, holes=holes,
+                                  max_passes=args.adapt_passes,
+                                  protect_segments=True)
+        (out,) = backend_impl.map_workitems(adapt_workitem, [payload])
+        mesh, report = unpack_adapt_result(out)
+        cycles.append(report.to_dict())
+    summary = {
+        "cycles": len(cycles),
+        "eps": args.adapt_eps,
+        "h_min": h_min,
+        "h_max": h_max,
+        "reports": cycles,
+        "splits": sum(c["splits"] for c in cycles),
+        "collapses": sum(c["collapses"] for c in cycles),
+        "flips": sum(c["flips"] for c in cycles),
+        "smooth_moves": sum(c["smooth_moves"] for c in cycles),
+        "conformity": (cycles[-1]["conformity_after"] if cycles
+                       else float("nan")),
+    }
+    return mesh, summary
 
 
 def _service_address(args: argparse.Namespace) -> str:
@@ -439,14 +514,22 @@ def main(argv=None) -> int:
                                    insert_strategy=insert_strategy)
     elapsed = tm.elapsed
 
-    written = _write_mesh_outputs(args, result.mesh)
+    adapt_summary = None
+    final_mesh = result.mesh
+    if args.adapt:
+        with timed("adapt") as tma:
+            final_mesh, adapt_summary = _run_adaptation(
+                pslg, final_mesh, args, backend_impl)
+        adapt_summary["elapsed_s"] = round(tma.elapsed, 3)
+
+    written = _write_mesh_outputs(args, final_mesh)
     if args.report:
         from .analysis.report import mesh_report
 
         surface = np.vstack([
             pslg.loop_points(lp) for lp in pslg.body_loops
         ])
-        print(mesh_report(result.mesh, surface=surface))
+        print(mesh_report(final_mesh, surface=surface))
 
     summary = {
         "backend": canonical,
@@ -455,17 +538,19 @@ def main(argv=None) -> int:
         "stream": not args.no_stream,
         "warm_pool": bool(getattr(backend_impl, "pool_enabled", False)),
         "elapsed_s": round(elapsed, 3),
-        "n_points": result.mesh.n_points,
-        "n_triangles": result.mesh.n_triangles,
+        "n_points": final_mesh.n_points,
+        "n_triangles": final_mesh.n_triangles,
         "n_bl_triangles": int(result.stats["n_bl_triangles"]),
         "n_subdomains": int(result.stats["n_subdomains"]),
         "min_angle_deg": round(
-            float(np.degrees(result.mesh.min_angle())), 3),
+            float(np.degrees(final_mesh.min_angle())), 3),
         "outputs": written,
         "timings": {k: round(v, 3) for k, v in result.timings.items()},
         "sanitizer": tsan.status(),
         "lint": {"ruleset": RULESET_VERSION, "rules": list(rule_ids())},
     }
+    if adapt_summary is not None:
+        summary["adapt"] = adapt_summary
     if profile_sink is not None:
         print(profile_sink.report())
     if args.stats_json:
@@ -475,6 +560,13 @@ def main(argv=None) -> int:
     else:
         print(f"mesh: {summary['n_triangles']} triangles, "
               f"{summary['n_points']} points in {summary['elapsed_s']}s")
+        if adapt_summary is not None:
+            print(f"adapt: {adapt_summary['cycles']} cycles, "
+                  f"{adapt_summary['splits']} splits / "
+                  f"{adapt_summary['collapses']} collapses / "
+                  f"{adapt_summary['flips']} flips, "
+                  f"conformity {adapt_summary['conformity']:.3f} "
+                  f"in {adapt_summary['elapsed_s']}s")
         for path in written:
             print(f"wrote {path}")
     return 0

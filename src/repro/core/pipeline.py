@@ -63,6 +63,9 @@ __all__ = [
     "unpack_mesh_request",
     "request_cost",
     "mesh_workitem",
+    "pack_adapt_item",
+    "adapt_workitem",
+    "unpack_adapt_result",
 ]
 
 #: ``REPRO_STREAM=0`` disables streamed decompose->refine dispatch and
@@ -384,3 +387,80 @@ def mesh_workitem(payload: serde.Buffers) -> serde.Buffers:
     pslg, config = unpack_mesh_request(payload)
     result = generate_mesh(pslg, config, backend="serial")
     return serde.pack_mesh(result.mesh)
+
+
+# ----------------------------------------------------------------------
+# Metric adaptation work items
+# ----------------------------------------------------------------------
+def pack_adapt_item(mesh: TriMesh, metric_field, *,
+                    holes=(), l_min: Optional[float] = None,
+                    l_max: Optional[float] = None,
+                    max_passes: int = 3,
+                    smooth_iterations: int = 1,
+                    protect_segments: bool = False) -> serde.Buffers:
+    """One metric-adaptation work item as a flat buffer dict."""
+    from ..delaunay.adapt import HIGH_BAND, LOW_BAND
+
+    payload = serde.nest("mesh.", serde.pack_mesh(mesh))
+    payload.update(serde.nest("metric.", serde.pack_metric(metric_field)))
+    holes_arr = (np.asarray(holes, dtype=np.float64).reshape(-1, 2)
+                 if len(holes) else np.empty((0, 2), dtype=np.float64))
+    payload["holes"] = holes_arr
+    payload["params"] = np.asarray(
+        [LOW_BAND if l_min is None else float(l_min),
+         HIGH_BAND if l_max is None else float(l_max),
+         float(max_passes), float(smooth_iterations),
+         1.0 if protect_segments else 0.0],
+        dtype=np.float64)
+    return payload
+
+
+def adapt_workitem(payload: serde.Buffers) -> serde.Buffers:
+    """Executor work function: adapt one packed mesh to a packed metric.
+
+    Module-level by contract (processes backend resolves it by import
+    path).  Returns the adapted mesh plus the flat operation counters
+    from :class:`repro.delaunay.AdaptReport`, nested under ``report.``.
+    """
+    from ..delaunay.adapt import adapt_mesh
+
+    mesh = serde.unpack_mesh(serde.unnest("mesh.", payload))
+    metric_field = serde.unpack_metric(serde.unnest("metric.", payload))
+    l_min, l_max, max_passes, smooth_iters, protect = (
+        float(x) for x in payload["params"])
+    holes = [tuple(h) for h in payload["holes"]]
+    new_mesh, report = adapt_mesh(
+        mesh, metric_field,
+        holes=holes,
+        l_min=l_min,
+        l_max=l_max,
+        max_passes=int(max_passes),
+        smooth_iterations=int(smooth_iters),
+        protect_segments=bool(protect),
+    )
+    out = serde.nest("mesh.", serde.pack_mesh(new_mesh))
+    out["report.counters"] = np.asarray(
+        [report.passes, report.splits, report.collapses, report.flips,
+         report.smooth_moves], dtype=np.int32)
+    out["report.conformity"] = np.asarray(
+        [report.conformity_before, report.conformity_after],
+        dtype=np.float64)
+    out["report.trace"] = np.asarray(report.conformity_trace,
+                                     dtype=np.float64)
+    return out
+
+
+def unpack_adapt_result(out: serde.Buffers):
+    """Inverse of :func:`adapt_workitem`'s output -> ``(mesh, report)``."""
+    from ..delaunay.adapt import AdaptReport
+
+    mesh = serde.unpack_mesh(serde.unnest("mesh.", out))
+    c = out["report.counters"]
+    conf = out["report.conformity"]
+    report = AdaptReport(
+        passes=int(c[0]), splits=int(c[1]), collapses=int(c[2]),
+        flips=int(c[3]), smooth_moves=int(c[4]),
+        conformity_before=float(conf[0]), conformity_after=float(conf[1]),
+        conformity_trace=[float(x) for x in out["report.trace"]],
+    )
+    return mesh, report

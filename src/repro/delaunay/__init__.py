@@ -22,24 +22,45 @@ from .kernel import (
     delaunay_mesh,
     triangulate,
 )
+from .adapt import AdaptReport, MeshAdaptor, adapt_mesh
 from .mesh import TriMesh, merge_meshes
-from .refine import RUPPERT_BOUND, RefinementError, Refiner, refine_pslg
-from .smooth import ValidationReport, laplacian_smooth, validate_mesh
+from .refine import (
+    RUPPERT_BOUND,
+    AreaCriterion,
+    MetricCriterion,
+    RefinementError,
+    Refiner,
+    SizingCriterion,
+    refine_pslg,
+)
+from .smooth import (
+    ValidationReport,
+    laplacian_smooth,
+    metric_smooth,
+    validate_mesh,
+)
 
 __all__ = [
     "GHOST",
     "INSERT_ENV",
+    "AdaptReport",
+    "AreaCriterion",
     "InsertionStrategy",
+    "MeshAdaptor",
+    "MetricCriterion",
     "RUPPERT_BOUND",
     "RefinementError",
     "Refiner",
+    "SizingCriterion",
     "TriMesh",
     "Triangulation",
     "TriangulationError",
     "ValidationReport",
+    "adapt_mesh",
     "available_strategies",
     "get_strategy",
     "laplacian_smooth",
+    "metric_smooth",
     "register_strategy",
     "resolve_strategy_name",
     "validate_mesh",

@@ -1,0 +1,618 @@
+"""Metric-driven local mesh adaptation (split / collapse / flip / smooth).
+
+The anisotropic adaptation workload of the paper's related work (Tsolakis
+& Chrisochoides, arXiv:2404.18030): given a mesh and a vertex metric
+field (:class:`repro.metric.MetricField`), apply local operations until
+the mesh is (approximately) *unit* in the metric — every edge with metric
+length inside ``[1/sqrt(2), sqrt(2)]``:
+
+* **split** edges longer than ``l_max`` at their midpoint — constrained
+  segments split through the same region-safe path as Ruppert refinement,
+  interior edges through the kernel's cavity-engine point insertion;
+* **collapse** edges shorter than ``l_min`` by removing a free endpoint
+  and retriangulating its star polygon (ear clipping with exact
+  orientation guards);
+* **flip** edges when the worst metric quality of the two adjacent
+  triangles improves (anisotropic Lawson sweep);
+* **smooth** free vertices toward the metric-weighted centroid of their
+  neighbours, with step-halving validity guards.
+
+:class:`MeshAdaptor` extends :class:`repro.delaunay.refine.Refiner` — it
+inherits the interior/hole region bookkeeping, the constraint-aware
+segment splitting, and the cavity-engine insertion path, and adds the
+structural operations refinement never needs (collapse, quality flips,
+vertex relocation).  :func:`adapt_mesh` is the one-call driver used by
+:mod:`repro.solver.adapt` and the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.predicates import orient2d
+from ..runtime.counters import current as counters_current
+from .constrained import triangulate_pslg
+from .kernel import GHOST, TriangulationError
+from .mesh import TriMesh
+from .refine import Refiner
+
+__all__ = ["AdaptReport", "MeshAdaptor", "adapt_mesh", "LOW_BAND", "HIGH_BAND"]
+
+#: Unit-mesh acceptance band for metric edge lengths.
+LOW_BAND = 1.0 / math.sqrt(2.0)
+HIGH_BAND = math.sqrt(2.0)
+
+
+@dataclass
+class AdaptReport:
+    """Operation counters and conformity trace for one adaptation run."""
+
+    passes: int = 0
+    splits: int = 0
+    collapses: int = 0
+    flips: int = 0
+    smooth_moves: int = 0
+    conformity_before: float = 0.0
+    conformity_after: float = 0.0
+    #: In-band edge fraction after each pass (monitoring/stats).
+    conformity_trace: List[float] = dataclass_field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "passes": self.passes,
+            "splits": self.splits,
+            "collapses": self.collapses,
+            "flips": self.flips,
+            "smooth_moves": self.smooth_moves,
+            "conformity_before": self.conformity_before,
+            "conformity_after": self.conformity_after,
+            "conformity_trace": list(self.conformity_trace),
+        }
+
+
+class MeshAdaptor(Refiner):
+    """Local-operation adaptation driver over a constrained triangulation.
+
+    Parameters mirror :class:`Refiner` (region bookkeeping is shared);
+    ``field`` prescribes the target metric, ``l_min``/``l_max`` the
+    collapse/split thresholds in metric length.
+    """
+
+    def __init__(
+        self,
+        tri,
+        metric_field,
+        *,
+        holes: Sequence[Tuple[float, float]] = (),
+        l_min: float = LOW_BAND,
+        l_max: float = HIGH_BAND,
+        protect_segments: bool = False,
+        max_steiner: int = 2_000_000,
+    ) -> None:
+        super().__init__(
+            tri,
+            holes=holes,
+            quality_bound=None,
+            area_fn=None,
+            max_steiner=max_steiner,
+        )
+        if not (0.0 < l_min < l_max):
+            raise ValueError("need 0 < l_min < l_max")
+        self.field = metric_field
+        self.l_min = float(l_min)
+        self.l_max = float(l_max)
+        # When True, constrained segments are never split: callers whose
+        # downstream stages match boundary vertices by exact coordinates
+        # (e.g. the potential-flow body classification) keep their rings
+        # verbatim.
+        self.protect_segments = bool(protect_segments)
+        self.report = AdaptReport()
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _vertex_tensors(self) -> np.ndarray:
+        """Metric tensors interpolated at every kernel vertex."""
+        pts = np.asarray(self.tri.pts, dtype=np.float64)
+        return self.field.interpolate(pts)
+
+    def _interior_edges(self) -> List[Tuple[int, int]]:
+        """Sorted unique edges of interior (non-hole, non-ghost) triangles."""
+        tri = self.tri
+        edges = set()
+        for t in tri.live_triangles():
+            tv = tri.tri_v[t]
+            if tv is None or GHOST in tv or not self._is_interior(t):
+                continue
+            for k in range(3):
+                u, v = tv[k], tv[(k + 1) % 3]
+                edges.add((u, v) if u < v else (v, u))
+        return sorted(edges)
+
+    def _metric_lengths(self, edges: Sequence[Tuple[int, int]],
+                        tensors: np.ndarray) -> np.ndarray:
+        """Metric edge lengths (Alauzet linear-metric quadrature)."""
+        if not len(edges):
+            return np.empty(0)
+        e = np.asarray(edges, dtype=np.int64)
+        pts = np.asarray(self.tri.pts, dtype=np.float64)
+        from ..metric import tensor as _mt
+
+        vec = pts[e[:, 1]] - pts[e[:, 0]]
+        l0 = np.sqrt(np.maximum(_mt.quad_form(tensors[e[:, 0]], vec), 0.0))
+        l1 = np.sqrt(np.maximum(_mt.quad_form(tensors[e[:, 1]], vec), 0.0))
+        lo = np.minimum(l0, l1)
+        hi = np.maximum(l0, l1)
+        out = 0.5 * (l0 + l1)
+        graded = hi > lo * (1.0 + 1e-8)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r = hi[graded] / np.maximum(lo[graded], 1e-300)
+            out[graded] = lo[graded] * (r - 1.0) / np.log(r)
+        return out
+
+    def conformity(self) -> float:
+        """Fraction of interior edges with metric length in the band."""
+        edges = self._interior_edges()
+        if not edges:
+            return 1.0
+        lengths = self._metric_lengths(edges, self._vertex_tensors())
+        inband = (lengths >= LOW_BAND) & (lengths <= HIGH_BAND)
+        return float(inband.mean())
+
+    def _protected_vertices(self) -> set:
+        """Vertices that collapse/smooth must not move or remove:
+        constraint endpoints and hull vertices."""
+        tri = self.tri
+        protected = set()
+        for u, v in tri.constraints:
+            protected.add(u)
+            protected.add(v)
+        for t in tri.live_triangles():
+            tv = tri.tri_v[t]
+            if tv is not None and GHOST in tv:
+                for w in tv:
+                    if w != GHOST:
+                        protected.add(w)
+        return protected
+
+    # ------------------------------------------------------------------
+    # Individual operations (each returns True when it changed the mesh)
+    # ------------------------------------------------------------------
+    def split_edge(self, u: int, v: int) -> bool:
+        """Split edge (u, v) at its midpoint.
+
+        Constrained segments go through the region-safe subsegment path;
+        interior edges through cavity insertion.  Returns ``False`` when
+        the edge no longer exists or the midpoint collides with an
+        existing vertex.
+        """
+        tri = self.tri
+        loc = self._find_any_edge_triangle(u, v)
+        if loc is None:
+            return False
+        pu, pv = tri.pts[u], tri.pts[v]
+        mx, my = 0.5 * (pu[0] + pv[0]), 0.5 * (pu[1] + pv[1])
+        key = (u, v) if u < v else (v, u)
+        if key in tri.constraints:
+            if self.protect_segments:
+                self.locked_skips += 1
+                return False
+            self._insert_on_segment(u, v, mx, my)
+            self.report.splits += 1
+            return True
+        if tri.is_ghost(loc):
+            return False
+        if tri.find_vertex_at((mx, my), loc) is not None:
+            return False
+        try:
+            self._insert_tracked(mx, my, interior_hint=loc)
+        except TriangulationError:
+            return False
+        self.report.splits += 1
+        return True
+
+    def collapse_edge(self, u: int, v: int,
+                      protected: Optional[set] = None) -> bool:
+        """Collapse edge (u, v) by removing a free endpoint.
+
+        Prefers removing ``v``; falls back to ``u``.  A vertex is free
+        when it is not a constraint endpoint, not on the hull, and its
+        star is uniformly labelled ghost-free interior.  Returns
+        ``False`` when neither endpoint can be removed safely.
+        """
+        if protected is None:
+            protected = self._protected_vertices()
+        for victim in (v, u):
+            if victim in protected:
+                continue
+            if self._remove_vertex(victim):
+                self.report.collapses += 1
+                return True
+        return False
+
+    def _remove_vertex(self, v: int) -> bool:
+        """Delete vertex ``v`` and retriangulate its star polygon.
+
+        The star ring (ordered CCW by the kernel's triangle orientation)
+        is ear-clipped with exact orientation tests; the new fan is wired
+        into the surrounding adjacency atomically — nothing mutates until
+        a complete valid retriangulation exists.
+        """
+        tri = self.tri
+        star = tri.triangles_around_vertex(v)
+        if len(star) < 3:
+            return False
+        label: Optional[bool] = None
+        ring_next: Dict[int, int] = {}
+        outer: Dict[Tuple[int, int], int] = {}
+        for t in star:
+            tv = tri.tri_v[t]
+            if tv is None or GHOST in tv:
+                return False
+            lab = self._is_interior(t)
+            if label is None:
+                label = lab
+            elif lab != label:
+                return False  # star crosses a region boundary
+            i = tv.index(v)
+            a, b = tv[(i + 1) % 3], tv[(i + 2) % 3]
+            if a in ring_next:
+                return False  # non-manifold star
+            ring_next[a] = b
+            outer[(a, b)] = tri.tri_n[t][i]
+        start = min(ring_next)
+        ring = [start]
+        while True:
+            nxt = ring_next[ring[-1]]
+            if nxt == start:
+                break
+            ring.append(nxt)
+            if len(ring) > len(ring_next):
+                return False  # broken ring
+        if len(ring) != len(star):
+            return False
+
+        pts = tri.pts
+        poly = list(ring)
+        new_tris: List[Tuple[int, int, int]] = []
+        guard = 0
+        while len(poly) > 3:
+            guard += 1
+            if guard > 2 * len(ring) * len(ring) + 16:
+                return False
+            n = len(poly)
+            clipped = False
+            for i in range(n):
+                a, b, c = poly[i - 1], poly[i], poly[(i + 1) % n]
+                pa, pb, pc = pts[a], pts[b], pts[c]
+                if orient2d(pa, pb, pc) <= 0:
+                    continue
+                ok = True
+                for w in poly:
+                    if w in (a, b, c):
+                        continue
+                    pw = pts[w]
+                    if (orient2d(pa, pb, pw) >= 0
+                            and orient2d(pb, pc, pw) >= 0
+                            and orient2d(pc, pa, pw) >= 0):
+                        ok = False
+                        break
+                if ok:
+                    new_tris.append((a, b, c))
+                    poly.pop(i)
+                    clipped = True
+                    break
+            if not clipped:
+                return False
+        a, b, c = poly
+        if orient2d(pts[a], pts[b], pts[c]) <= 0:
+            return False
+        new_tris.append((a, b, c))
+
+        # Commit: kill the star, create the fan, wire adjacency.
+        for t in star:
+            tri._kill_triangle(t)
+            self._interior.pop(t, None)
+            self._unfixable.discard(t)
+        created = [tri._new_triangle(*tv) for tv in new_tris]
+        for t in created:
+            self._interior[t] = bool(label)
+        emap: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for t in created:
+            for k in range(3):
+                emap[tri._edge(t, k)] = (t, k)
+        tn = tri._arr.tn
+        for (eu, ev), (t, k) in sorted(emap.items()):
+            rev = emap.get((ev, eu))
+            if rev is not None:
+                tn[3 * t + k] = rev[0]
+                continue
+            nb = outer[(eu, ev)]
+            tn[3 * t + k] = nb
+            if nb >= 0:
+                tn[3 * nb + tri._edge_index(nb, ev, eu)] = t
+        tri.vertex_tri[v] = -1
+        return True
+
+    def flip_edge(self, u: int, v: int) -> bool:
+        """Flip edge (u, v) when legal (convex quad, unconstrained,
+        same region on both sides).  Returns ``True`` on success."""
+        tri = self.tri
+        key = (u, v) if u < v else (v, u)
+        if key in tri.constraints:
+            return False
+        t1 = self._find_any_edge_triangle(u, v)
+        if t1 is None or tri.is_ghost(t1):
+            return False
+        tv = tri.tri_v[t1]
+        k1 = next((k for k in range(3) if tv[k] not in (u, v)), None)
+        if k1 is None:
+            return False
+        t2 = tri.tri_n[t1][k1]
+        if t2 < 0 or tri.is_ghost(t2):
+            return False
+        if self._is_interior(t1) != self._is_interior(t2):
+            return False
+        if not tri.edge_is_flippable(t1, k1):
+            return False
+        label = self._is_interior(t1)
+        n1, n2 = tri.flip(t1, k1)
+        self._interior[n1] = label
+        self._interior[n2] = label
+        self.report.flips += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Passes
+    # ------------------------------------------------------------------
+    def split_pass(self) -> int:
+        """Split every edge with metric length above ``l_max``."""
+        edges = self._interior_edges()
+        if not edges:
+            return 0
+        lengths = self._metric_lengths(edges, self._vertex_tensors())
+        order = np.argsort(-lengths, kind="stable")
+        done = 0
+        for j in order:
+            if lengths[j] <= self.l_max:
+                break
+            u, v = edges[j]
+            if self.split_edge(u, v):
+                done += 1
+        return done
+
+    def collapse_pass(self) -> int:
+        """Collapse edges with metric length below ``l_min``."""
+        edges = self._interior_edges()
+        if not edges:
+            return 0
+        lengths = self._metric_lengths(edges, self._vertex_tensors())
+        order = np.argsort(lengths, kind="stable")
+        protected = self._protected_vertices()
+        removed: set = set()
+        done = 0
+        for j in order:
+            if lengths[j] >= self.l_min:
+                break
+            u, v = edges[j]
+            if u in removed or v in removed:
+                continue
+            loc = self._find_any_edge_triangle(u, v)
+            if loc is None:
+                continue  # stale edge (star already rebuilt)
+            if self.collapse_edge(u, v, protected):
+                done += 1
+                # Whichever endpoint vanished no longer owns a triangle.
+                for w in (u, v):
+                    if self.tri.vertex_tri[w] < 0:
+                        removed.add(w)
+        return done
+
+    def _metric_quality(self, a: int, b: int, c: int,
+                        tensors: np.ndarray) -> float:
+        """Metric shape quality in [0, 1]; 1 = metric-equilateral."""
+        from ..metric import tensor as _mt
+
+        pts = self.tri.pts
+        pa, pb, pc = pts[a], pts[b], pts[c]
+        area = 0.5 * ((pb[0] - pa[0]) * (pc[1] - pa[1])
+                      - (pb[1] - pa[1]) * (pc[0] - pa[0]))
+        if area <= 0.0:
+            return 0.0
+        m = (tensors[a] + tensors[b] + tensors[c]) / 3.0
+        det_m = m[0] * m[2] - m[1] * m[1]
+        if det_m <= 0.0:
+            return 0.0
+        vecs = np.array([
+            [pb[0] - pa[0], pb[1] - pa[1]],
+            [pc[0] - pb[0], pc[1] - pb[1]],
+            [pa[0] - pc[0], pa[1] - pc[1]],
+        ])
+        l_sq = _mt.quad_form(np.repeat(m[None, :], 3, axis=0), vecs)
+        denom = float(l_sq.sum())
+        if denom <= 0.0:
+            return 0.0
+        area_m = area * math.sqrt(det_m)
+        return 4.0 * math.sqrt(3.0) * area_m / denom
+
+    def flip_pass(self, *, max_sweeps: int = 10, tol: float = 1e-12) -> int:
+        """Anisotropic Lawson sweeps: flip while the worst metric quality
+        of an edge's two triangles improves."""
+        tri = self.tri
+        total = 0
+        for _ in range(max_sweeps):
+            tensors = self._vertex_tensors()
+            flipped = 0
+            for u, v in self._interior_edges():
+                key = (u, v) if u < v else (v, u)
+                if key in tri.constraints:
+                    continue
+                t1 = self._find_any_edge_triangle(u, v)
+                if t1 is None or tri.is_ghost(t1):
+                    continue
+                tv = tri.tri_v[t1]
+                k1 = next((k for k in range(3) if tv[k] not in (u, v)), None)
+                if k1 is None:
+                    continue
+                a = tv[k1]
+                t2 = tri.tri_n[t1][k1]
+                if t2 < 0 or tri.is_ghost(t2):
+                    continue
+                tv2 = tri.tri_v[t2]
+                b = next((w for w in tv2 if w not in (u, v)), None)
+                if b is None or b == GHOST:
+                    continue
+                q_now = min(self._metric_quality(*tv, tensors),
+                            self._metric_quality(*tv2, tensors))
+                q_new = min(self._metric_quality(a, u, b, tensors),
+                            self._metric_quality(b, v, a, tensors))
+                if q_new > q_now + tol and self.flip_edge(u, v):
+                    flipped += 1
+            total += flipped
+            if flipped == 0:
+                break
+        return total
+
+    def smooth_pass(self, *, relaxation: float = 0.5) -> int:
+        """Move free vertices toward the metric-weighted neighbour
+        centroid; each move is validated (no inverted incident triangle)
+        with step halving before acceptance."""
+        from ..metric import tensor as _mt
+
+        tri = self.tri
+        tensors = self._vertex_tensors()
+        protected = self._protected_vertices()
+        arr = tri._arr
+        px = arr.px
+        moves = 0
+        n_pts = len(tri.pts)
+        for v in range(n_pts):
+            if v in protected or tri.vertex_tri[v] < 0:
+                continue
+            star = tri.triangles_around_vertex(v)
+            if not star:
+                continue
+            ok = True
+            neighbours: set = set()
+            for t in star:
+                tv = tri.tri_v[t]
+                if tv is None or GHOST in tv or not self._is_interior(t):
+                    ok = False
+                    break
+                for w in tv:
+                    if w != v:
+                        neighbours.add(w)
+            if not ok or len(neighbours) < 3:
+                continue
+            nbr = sorted(neighbours)
+            pv = np.array(tri.pts[v])
+            npts = np.array([tri.pts[w] for w in nbr])
+            vecs = npts - pv[None, :]
+            m_edge = 0.5 * (np.repeat(tensors[v][None, :], len(nbr), axis=0)
+                            + tensors[nbr])
+            w_len = np.sqrt(np.maximum(_mt.quad_form(m_edge, vecs), 0.0))
+            wsum = float(w_len.sum())
+            if wsum <= 0.0:
+                continue
+            target = (w_len[:, None] * npts).sum(axis=0) / wsum
+            step = relaxation
+            old = (pv[0], pv[1])
+            accepted = False
+            for _ in range(3):
+                nx = old[0] + step * (target[0] - old[0])
+                ny = old[1] + step * (target[1] - old[1])
+                px[2 * v] = nx
+                px[2 * v + 1] = ny
+                valid = True
+                for t in star:
+                    tv = tri.tri_v[t]
+                    if orient2d(tri.pts[tv[0]], tri.pts[tv[1]],
+                                tri.pts[tv[2]]) <= 0:
+                        valid = False
+                        break
+                if valid:
+                    accepted = True
+                    break
+                step *= 0.5
+            if accepted:
+                moves += 1
+            else:
+                px[2 * v] = old[0]
+                px[2 * v + 1] = old[1]
+        self.report.smooth_moves += moves
+        return moves
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def adapt(self, *, max_passes: int = 3,
+              smooth_iterations: int = 1) -> AdaptReport:
+        """Run split -> collapse -> flip -> smooth passes to conformity.
+
+        Stops early when a pass performs no structural operation.  The
+        report accumulates counters across passes and records the
+        conformity trace.
+        """
+        rep = self.report
+        rep.conformity_before = self.conformity()
+        for _ in range(max_passes):
+            rep.passes += 1
+            n_split = self.split_pass()
+            n_coll = self.collapse_pass()
+            n_flip = self.flip_pass()
+            for _ in range(max(int(smooth_iterations), 0)):
+                self.smooth_pass()
+            rep.conformity_trace.append(self.conformity())
+            if n_split == 0 and n_coll == 0 and n_flip == 0:
+                break
+        rep.conformity_after = (rep.conformity_trace[-1]
+                                if rep.conformity_trace
+                                else rep.conformity_before)
+        sink = counters_current()
+        if sink is not None:
+            sink.absorb_kernel(self.tri)
+            sink.incr("adapt_passes", rep.passes)
+            sink.incr("adapt_splits", rep.splits)
+            sink.incr("adapt_collapses", rep.collapses)
+            sink.incr("adapt_flips", rep.flips)
+            sink.incr("adapt_smooth_moves", rep.smooth_moves)
+        return rep
+
+
+def adapt_mesh(
+    mesh: TriMesh,
+    metric_field,
+    *,
+    holes: Sequence[Tuple[float, float]] = (),
+    l_min: float = LOW_BAND,
+    l_max: float = HIGH_BAND,
+    max_passes: int = 3,
+    smooth_iterations: int = 1,
+    protect_segments: bool = False,
+    max_steiner: int = 2_000_000,
+) -> Tuple[TriMesh, AdaptReport]:
+    """Adapt ``mesh`` to ``metric_field``; returns (new mesh, report).
+
+    The mesh's constrained segments are preserved through the rebuild
+    (they are re-marked as constraints and never collapsed; they may
+    gain split vertices when the metric asks for finer boundary spacing,
+    unless ``protect_segments`` forbids it).  ``holes`` are the region
+    seed points of the original geometry, exactly as given to
+    :func:`repro.delaunay.refine_pslg`.
+    """
+    tri = triangulate_pslg(mesh.points, mesh.segments)
+    adaptor = MeshAdaptor(
+        tri,
+        metric_field,
+        holes=holes,
+        l_min=l_min,
+        l_max=l_max,
+        protect_segments=protect_segments,
+        max_steiner=max_steiner,
+    )
+    adaptor.adapt(max_passes=max_passes, smooth_iterations=smooth_iterations)
+    return adaptor.to_mesh(), adaptor.report

@@ -34,7 +34,15 @@ from .constrained import carve, triangulate_pslg
 from .kernel import GHOST, Triangulation, TriangulationError
 from .mesh import TriMesh
 
-__all__ = ["RefinementError", "Refiner", "refine_pslg", "RUPPERT_BOUND"]
+__all__ = [
+    "RefinementError",
+    "Refiner",
+    "refine_pslg",
+    "RUPPERT_BOUND",
+    "SizingCriterion",
+    "AreaCriterion",
+    "MetricCriterion",
+]
 
 #: Ruppert's circumradius-to-shortest-edge termination bound (paper Eq. 1
 #: context): sqrt(2) corresponds to a 20.7-degree minimum angle.
@@ -46,6 +54,97 @@ class RefinementError(RuntimeError):
 
 
 AreaFn = Callable[[float, float], float]
+
+Point = Tuple[float, float]
+
+
+class SizingCriterion:
+    """Decides whether a triangle is too large for a sizing field.
+
+    The refiner consults exactly one criterion per triangle, handing it
+    the three corner coordinates and the (positive) Euclidean area it
+    already computed.  Implementations return ``True`` when the triangle
+    must be split for *size* reasons; the shape (circumradius-to-edge)
+    test stays in the refiner and is criterion-independent.
+    """
+
+    def oversized(self, pa: Point, pb: Point, pc: Point, area: float
+                  ) -> bool:
+        raise NotImplementedError
+
+
+class AreaCriterion(SizingCriterion):
+    """Scalar area bound ``area_fn(centroid)`` — the classic Triangle
+    ``-a`` semantics.  The arithmetic (centroid then compare) is kept
+    bit-identical to the pre-criterion refiner so meshes hash the same.
+    """
+
+    def __init__(self, area_fn: AreaFn) -> None:
+        self.area_fn = area_fn
+
+    def oversized(self, pa: Point, pb: Point, pc: Point, area: float
+                  ) -> bool:
+        cx = (pa[0] + pb[0] + pc[0]) / 3.0
+        cy = (pa[1] + pb[1] + pc[1]) / 3.0
+        return area > self.area_fn(cx, cy)
+
+
+class MetricCriterion(SizingCriterion):
+    """Anisotropic bound from a :class:`repro.metric.MetricField`.
+
+    A triangle is oversized when either
+
+    * its longest edge measured in the metric exceeds ``max_edge``
+      (default ``sqrt(2)``, the upper end of the unit-mesh band), or
+    * its circumradius in the metric of the centroid exceeds
+      ``max_circumradius`` (default ``1.0``; a metric-unit equilateral
+      triangle has circumradius ``1/sqrt(3)``, so 1.0 only fires on
+      clearly oversized or badly shaped elements).
+
+    The circumradius test maps the corners through ``M^{1/2}`` frozen at
+    the centroid and measures the Euclidean circumradius there.
+    """
+
+    def __init__(self, field, *, max_edge: float = RUPPERT_BOUND,
+                 max_circumradius: float = 1.0, k: int = 3) -> None:
+        if max_edge <= 0 or max_circumradius <= 0:
+            raise ValueError("metric criterion bounds must be positive")
+        self.field = field
+        self.max_edge = float(max_edge)
+        self.max_circumradius = float(max_circumradius)
+        self.k = int(k)
+
+    def oversized(self, pa: Point, pb: Point, pc: Point, area: float
+                  ) -> bool:
+        cx = (pa[0] + pb[0] + pc[0]) / 3.0
+        cy = (pa[1] + pb[1] + pc[1]) / 3.0
+        corners = np.array([pa, pb, pc], dtype=np.float64)
+        query = np.vstack([corners, [[cx, cy]]])
+        tensors = self.field.interpolate(query, k=self.k)
+        # Metric edge lengths: average of endpoint quadratic forms.
+        from ..metric import tensor as _mt
+
+        vecs = corners[[1, 2, 0]] - corners[[0, 1, 2]]
+        l_sq_a = _mt.quad_form(tensors[[0, 1, 2]], vecs)
+        l_sq_b = _mt.quad_form(tensors[[1, 2, 0]], vecs)
+        l_m = 0.5 * (np.sqrt(np.maximum(l_sq_a, 0.0))
+                     + np.sqrt(np.maximum(l_sq_b, 0.0)))
+        if float(l_m.max()) > self.max_edge:
+            return True
+        # Circumradius under the centroid metric.
+        root = _mt.sqrtm(tensors[3:4])
+        r11, r12, r22 = root[0, 0], root[0, 1], root[0, 2]
+        qa, qb, qc = (
+            (r11 * p[0] + r12 * p[1], r12 * p[0] + r22 * p[1])
+            for p in (pa, pb, pc)
+        )
+        try:
+            cc = circumcenter(qa, qb, qc)
+        except ValueError:
+            return False  # metric-degenerate: leave to the shape test
+        if not (math.isfinite(cc[0]) and math.isfinite(cc[1])):
+            return False
+        return distance(cc, qa) > self.max_circumradius
 
 
 class Refiner:
@@ -62,6 +161,11 @@ class Refiner:
         refinement (area-only).
     area_fn:
         Maximum triangle area at a location, or ``None`` for no area bound.
+        Shorthand for ``criterion=AreaCriterion(area_fn)``.
+    criterion:
+        A :class:`SizingCriterion` deciding the size test directly (e.g.
+        :class:`MetricCriterion` for anisotropic sizing).  Mutually
+        exclusive with ``area_fn``.
     min_edge_floor:
         Safety floor: skinny triangles whose shortest edge is already below
         this length are not split further.  This is the pragmatic guard
@@ -79,13 +183,18 @@ class Refiner:
         holes: Sequence[Tuple[float, float]] = (),
         quality_bound: Optional[float] = RUPPERT_BOUND,
         area_fn: Optional[AreaFn] = None,
+        criterion: Optional[SizingCriterion] = None,
         min_edge_floor: float = 0.0,
         max_steiner: int = 2_000_000,
         lock_segments: bool = False,
     ) -> None:
+        if area_fn is not None and criterion is not None:
+            raise ValueError("pass either area_fn or criterion, not both")
         self.tri = tri
         self.quality_bound = quality_bound
         self.area_fn = area_fn
+        self.criterion = (AreaCriterion(area_fn) if area_fn is not None
+                          else criterion)
         self.min_edge_floor = float(min_edge_floor)
         self.max_steiner = int(max_steiner)
         self.steiner_count = 0
@@ -310,10 +419,8 @@ class Refiner:
         )
         if exact_eq(area, 0.0):
             return None  # exactly degenerate slivers cannot be improved
-        if self.area_fn is not None:
-            cx = (pa[0] + pb[0] + pc[0]) / 3.0
-            cy = (pa[1] + pb[1] + pc[1]) / 3.0
-            if area > self.area_fn(cx, cy):
+        if self.criterion is not None:
+            if self.criterion.oversized(pa, pb, pc, area):
                 return "size"
         if self.quality_bound is not None:
             r = la * lb * lc / (4.0 * area)
@@ -548,6 +655,7 @@ def refine_pslg(
     quality_bound: Optional[float] = RUPPERT_BOUND,
     max_area: Optional[float] = None,
     area_fn: Optional[AreaFn] = None,
+    criterion: Optional[SizingCriterion] = None,
     min_edge_floor: float = 0.0,
     max_steiner: int = 2_000_000,
     assume_sorted: bool = False,
@@ -555,10 +663,13 @@ def refine_pslg(
     """One-call PSLG -> refined quality mesh (the Triangle workflow).
 
     ``max_area`` is a uniform bound; ``area_fn`` a spatially varying one
-    (both may be given — the effective bound is the minimum).
+    (both may be given — the effective bound is the minimum).  A custom
+    ``criterion`` (e.g. :class:`MetricCriterion`) replaces both.
     """
     if max_area is not None and max_area <= 0:
         raise ValueError("max_area must be positive")
+    if criterion is not None and (max_area is not None or area_fn is not None):
+        raise ValueError("pass either criterion or area bounds, not both")
 
     bound_fn: Optional[AreaFn]
     if area_fn is None and max_area is None:
@@ -576,6 +687,7 @@ def refine_pslg(
         holes=holes,
         quality_bound=quality_bound,
         area_fn=bound_fn,
+        criterion=criterion,
         min_edge_floor=min_edge_floor,
         max_steiner=max_steiner,
     )

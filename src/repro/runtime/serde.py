@@ -67,6 +67,8 @@ __all__ = [
     "discard_wire",
     "pack_mesh",
     "unpack_mesh",
+    "pack_metric",
+    "unpack_metric",
     "pack_subdomain",
     "unpack_subdomain",
     "pack_pslg",
@@ -440,6 +442,31 @@ def unpack_mesh(buffers: Buffers):
         points=_f64(buffers["points"], 2),
         triangles=_i32(buffers["triangles"]).reshape(-1, 3),
         segments=_i32(buffers["segments"]).reshape(-1, 2),
+    )
+
+
+# ----------------------------------------------------------------------
+# Metric fields
+# ----------------------------------------------------------------------
+def pack_metric(field) -> Buffers:
+    """Flatten a :class:`repro.metric.MetricField` (exact round trip).
+
+    Tensors travel in the compact ``[m11, m12, m22]`` representation the
+    field already stores, so pack/unpack is a pure memory copy — no
+    eigendecomposition or log mapping on the wire path.
+    """
+    return {
+        "points": _f64(field.points, 2),
+        "tensors": _f64(field.tensors, 3),
+    }
+
+
+def unpack_metric(buffers: Buffers):
+    from ..metric import MetricField
+
+    return MetricField(
+        points=_f64(buffers["points"], 2),
+        tensors=_f64(buffers["tensors"], 3),
     )
 
 

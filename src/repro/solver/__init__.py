@@ -1,5 +1,13 @@
 """Flow-solver substrate: P1 FEM, potential flow, iterative convergence."""
 
+from .adapt import (
+    AdaptCycle,
+    AdaptLoopResult,
+    ShearLayerProblem,
+    adapt_loop,
+    l2_error,
+    solve_on_mesh,
+)
 from .blmodel import (
     BLModelResult,
     exact_solution,
@@ -19,7 +27,13 @@ from .fem import (
 from .flow import FlowResult, solve_potential_flow
 
 __all__ = [
+    "AdaptCycle",
+    "AdaptLoopResult",
     "BLModelResult",
+    "ShearLayerProblem",
+    "adapt_loop",
+    "l2_error",
+    "solve_on_mesh",
     "FlowResult",
     "SolveResult",
     "apply_dirichlet",

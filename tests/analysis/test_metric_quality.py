@@ -1,0 +1,66 @@
+"""Quality-in-the-metric measures: unit-band conformity of edges."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import metric_conformity, metric_edge_lengths
+from repro.delaunay import adapt_mesh, refine_pslg
+from repro.delaunay.adapt import HIGH_BAND, LOW_BAND
+from repro.metric import MetricField
+
+UNIT_SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+SQUARE_SEGS = np.array([[0, 1], [1, 2], [2, 3], [3, 0]])
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return refine_pslg(UNIT_SQUARE.copy(), SQUARE_SEGS.copy(),
+                       max_area=0.01)
+
+
+class TestMetricEdgeLengths:
+    def test_counts_unique_edges(self, mesh):
+        field = MetricField.uniform(mesh.points, 0.1)
+        lengths = metric_edge_lengths(mesh, field)
+        t = mesh.triangles
+        n_edges = len(np.unique(np.sort(np.concatenate(
+            [t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]]), axis=1), axis=0))
+        assert len(lengths) == n_edges
+        assert np.all(lengths > 0)
+
+    def test_matched_metric_gives_unit_lengths(self, mesh):
+        """Metric h == actual edge length -> metric lengths near 1."""
+        t = mesh.triangles
+        edges = np.unique(np.sort(np.concatenate(
+            [t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]]), axis=1), axis=0)
+        ls = np.linalg.norm(mesh.points[edges[:, 1]]
+                            - mesh.points[edges[:, 0]], axis=1)
+        h = np.full(mesh.n_points, np.median(ls))
+        field = MetricField.from_sizes(mesh.points, h)
+        lengths = metric_edge_lengths(mesh, field)
+        assert np.median(lengths) == pytest.approx(1.0, rel=0.15)
+
+
+class TestMetricConformity:
+    def test_band_defaults(self):
+        assert LOW_BAND == pytest.approx(1.0 / np.sqrt(2.0))
+        assert HIGH_BAND == pytest.approx(np.sqrt(2.0))
+
+    def test_conformity_in_unit_interval(self, mesh):
+        field = MetricField.uniform(mesh.points, 0.05)
+        c = metric_conformity(mesh, field)
+        assert 0.0 <= c <= 1.0
+
+    def test_adaptation_raises_conformity(self, mesh):
+        h = np.where(np.abs(mesh.points[:, 1] - 0.5) < 0.2, 0.05, 0.25)
+        field = MetricField.from_sizes(mesh.points, h)
+        before = metric_conformity(mesh, field)
+        adapted, _ = adapt_mesh(mesh, field, max_passes=3)
+        after = metric_conformity(adapted, field)
+        assert after > before
+        assert after > 0.75
+
+    def test_custom_band(self, mesh):
+        field = MetricField.uniform(mesh.points, 0.1)
+        wide = metric_conformity(mesh, field, l_min=1e-6, l_max=1e6)
+        assert wide == 1.0

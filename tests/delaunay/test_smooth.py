@@ -6,7 +6,8 @@ import pytest
 from repro.delaunay.kernel import delaunay_mesh
 from repro.delaunay.mesh import TriMesh
 from repro.delaunay.refine import refine_pslg
-from repro.delaunay.smooth import laplacian_smooth, validate_mesh
+from repro.delaunay.smooth import (laplacian_smooth, metric_smooth,
+                                   validate_mesh)
 
 
 def square_mesh(max_area=0.02):
@@ -58,6 +59,53 @@ class TestLaplacianSmooth:
     def test_topology_unchanged(self):
         mesh = square_mesh()
         smoothed = laplacian_smooth(mesh)
+        np.testing.assert_array_equal(smoothed.triangles, mesh.triangles)
+        assert smoothed.is_conforming()
+
+
+class TestMetricSmooth:
+    def test_equalises_metric_lengths(self):
+        """A stretched metric pulls vertices toward metric-uniform
+        spacing: the variance of metric edge lengths drops."""
+        from repro.metric import MetricField, tensor
+
+        mesh = square_mesh()
+        field = MetricField.from_sizes(
+            mesh.points,
+            np.where(mesh.points[:, 0] < 0.5, 0.05, 0.2))
+
+        def length_spread(m):
+            t = m.triangles
+            edges = np.unique(np.sort(np.concatenate(
+                [t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]]), axis=1),
+                axis=0)
+            tens = field.interpolate(m.points)
+            vec = m.points[edges[:, 1]] - m.points[edges[:, 0]]
+            m_edge = 0.5 * (tens[edges[:, 0]] + tens[edges[:, 1]])
+            ls = np.sqrt(np.maximum(tensor.quad_form(m_edge, vec), 0.0))
+            return np.std(np.log(np.maximum(ls, 1e-12)))
+
+        smoothed = metric_smooth(mesh, field, iterations=10)
+        assert length_spread(smoothed) < length_spread(mesh)
+
+    def test_never_inverts_and_boundary_fixed(self):
+        from repro.metric import MetricField
+
+        mesh = square_mesh(max_area=0.05)
+        field = MetricField.uniform(mesh.points, 0.1)
+        smoothed = metric_smooth(mesh, field, iterations=15,
+                                 relaxation=1.0)
+        assert np.all(smoothed.areas() > 0)
+        bidx = np.unique(mesh.boundary_edges().ravel())
+        np.testing.assert_array_equal(smoothed.points[bidx],
+                                      mesh.points[bidx])
+
+    def test_topology_unchanged(self):
+        from repro.metric import MetricField
+
+        mesh = square_mesh()
+        field = MetricField.uniform(mesh.points, 0.15)
+        smoothed = metric_smooth(mesh, field)
         np.testing.assert_array_equal(smoothed.triangles, mesh.triangles)
         assert smoothed.is_conforming()
 

@@ -258,6 +258,28 @@ class TestR7BufferCopy:
         findings = lint_snippet(tmp_path, "repro/delaunay/cavity.py", bad)
         assert "R7" in rules_hit(findings)
 
+    def test_smoothing_loop_over_points_flagged(self, tmp_path):
+        # The smoothers are contractually vectorised: a per-vertex
+        # Python loop over the point buffer inside laplacian_smooth
+        # (or metric_smooth) is a de-vectorisation regression.
+        bad = """
+            def laplacian_smooth(mesh):
+                out = []
+                for p in mesh.points:
+                    out.append((p[0], p[1]))
+                return out
+        """
+        findings = lint_snippet(tmp_path, "repro/delaunay/smooth.py", bad)
+        assert "R7" in rules_hit(findings)
+
+    def test_metric_smooth_comprehension_flagged(self, tmp_path):
+        bad = """
+            def metric_smooth(mesh, field):
+                return [tuple(p) for p in mesh.points]
+        """
+        findings = lint_snippet(tmp_path, "repro/delaunay/smooth.py", bad)
+        assert "R7" in rules_hit(findings)
+
     def test_batch_loop_over_cavity_sets_allowed(self, tmp_path):
         # Per-candidate control flow over cavity *sets* (not buffers) is
         # the legitimate scalar part of the batch path.

@@ -61,6 +61,34 @@ class TestBackendFlags:
         assert summary["n_triangles"] > 0
 
 
+class TestAdaptFlags:
+    def test_adapt_defaults_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["--naca", "0012", "-o", "m"])
+        assert args.adapt is False
+        assert args.adapt_cycles == 2
+        assert args.adapt_eps == pytest.approx(1e-2)
+        assert args.adapt_hmin is None and args.adapt_hmax is None
+
+    def test_adapt_run_reports_counters(self, capsys, tmp_path):
+        """One tiny adaptation cycle end to end: --stats-json carries
+        the operation counters and the conformity trace."""
+        rc = main(["--naca", "0012", "--surface-points", "31",
+                   "--max-layers", "6", "--farfield-chords", "5",
+                   "--subdomains", "4", "--adapt", "--adapt-cycles", "1",
+                   "--adapt-eps", "0.1", "--adapt-hmin", "0.01",
+                   "--adapt-hmax", "2.0", "--adapt-passes", "2",
+                   "--stats-json", "-o", str(tmp_path / "m")])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        adapt = summary["adapt"]
+        assert adapt["cycles"] == 1
+        assert adapt["splits"] + adapt["collapses"] + adapt["flips"] > 0
+        assert 0.0 <= adapt["conformity"] <= 1.0
+        report = adapt["reports"][0]
+        assert report["conformity_after"] >= report["conformity_before"]
+
+
 class TestServiceParsers:
     def test_serve_backend_choices_derived_from_registry(self):
         parser = build_serve_parser()
